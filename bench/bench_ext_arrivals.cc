@@ -1,0 +1,80 @@
+// Extension (paper future work, §7: "more realistic workloads"): open-loop
+// Poisson request arrivals instead of the paper's back-to-back batches.
+// Measures per-request latency percentiles across clients under stock
+// TF-Serving vs Olympian fair sharing, at two load levels.
+//
+// The paper's motivation — latency predictability for user-facing services —
+// shows up here as the spread of per-client p95 latencies.
+
+#include <iostream>
+
+#include "harness.h"
+
+using namespace olympian;
+
+namespace {
+
+struct LoadResult {
+  double p50 = 0, p95 = 0, max_p95 = 0, min_p95 = 0;
+};
+
+LoadResult Summarize(const std::vector<serving::ClientResult>& results) {
+  metrics::Series all;
+  metrics::Series per_client_p95;
+  for (const auto& r : results) {
+    metrics::Series mine;
+    for (double v : r.request_latency_ms) {
+      all.Add(v);
+      mine.Add(v);
+    }
+    if (!mine.empty()) per_client_p95.Add(mine.Percentile(95));
+  }
+  return LoadResult{all.Percentile(50), all.Percentile(95),
+                    per_client_p95.Max(), per_client_p95.Min()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Open-loop Poisson arrivals: latency percentiles",
+                     "extension of the paper's workload model");
+
+  bench::ProfileCache profiles;
+  const auto q = sim::Duration::Micros(1600);
+
+  metrics::Table t({"Load (mean interarrival)", "System", "p50 (ms)",
+                    "p95 (ms)", "per-client p95 range (ms)"});
+
+  for (int gap_s_x10 : {80, 62}) {  // 8.0s (light), 6.2s (near saturation)
+    const auto gap = sim::Duration::Seconds(gap_s_x10 / 10.0);
+    std::vector<serving::ClientSpec> clients(
+        10, {.model = "inception-v4",
+             .batch = 100,
+             .num_batches = 10,
+             .mean_interarrival = gap});
+
+    serving::ServerOptions opts;
+    opts.seed = 67;
+    const auto base = bench::RunBaseline(opts, clients);
+    const auto oly = bench::RunOlympian(opts, clients, "fair", q, profiles);
+
+    const auto b = Summarize(base.clients);
+    const auto o = Summarize(oly.clients);
+    const std::string load = metrics::Table::Num(gap.seconds(), 1) + " s";
+    t.AddRow({load, "TF-Serving", metrics::Table::Num(b.p50, 0),
+              metrics::Table::Num(b.p95, 0),
+              metrics::Table::Num(b.min_p95, 0) + " - " +
+                  metrics::Table::Num(b.max_p95, 0)});
+    t.AddRow({load, "Olympian fair", metrics::Table::Num(o.p50, 0),
+              metrics::Table::Num(o.p95, 0),
+              metrics::Table::Num(o.min_p95, 0) + " - " +
+                  metrics::Table::Num(o.max_p95, 0)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: Olympian trims the aggregate p95 and lifts\n"
+               "the per-client floor (no client is systematically favoured\n"
+               "by the driver), at a small cost in median latency from\n"
+               "time-slicing. Burst queueing still dominates the extreme\n"
+               "tail — fairness cannot remove load spikes.\n";
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Extension: the TF-Serving request batcher (paper §2.1) under item-level
+// Poisson arrivals. Sweeps the batching timeout to expose the classic
+// throughput/latency tradeoff, then runs two models' batchers concurrently
+// under Olympian fair sharing with Figure-20-interpolated profiles.
+
+#include <iostream>
+#include <cmath>
+#include <memory>
+
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "harness.h"
+#include "serving/batcher.h"
+
+using namespace olympian;
+
+namespace {
+
+struct BatchRunStats {
+  double mean_latency_ms = 0;
+  double p95_latency_ms = 0;
+  double occupancy = 0;
+  std::uint64_t batches = 0;
+};
+
+// `n_items` single-image requests arriving Poisson with `mean_gap`.
+BatchRunStats DriveBatcher(serving::Experiment& exp, serving::Batcher& batcher,
+                           int n_items, sim::Duration mean_gap,
+                           std::uint64_t seed) {
+  auto latencies = std::make_shared<metrics::Series>();
+  auto arrivals = exp.env().Spawn(
+      [](serving::Experiment& e, serving::Batcher& b, int n,
+         sim::Duration gap, std::uint64_t sd,
+         std::shared_ptr<metrics::Series> lat) -> sim::Task {
+        sim::Rng rng(sd);
+        std::vector<sim::Process> reqs;
+        for (int i = 0; i < n; ++i) {
+          co_await e.env().Delay(gap * (-std::log(1.0 - rng.NextDouble())));
+          reqs.push_back(e.env().Spawn(
+              [](serving::Batcher& bat,
+                 std::shared_ptr<metrics::Series> out) -> sim::Task {
+                sim::Duration l;
+                co_await bat.Infer(&l);
+                out->Add(l.millis());
+              }(b, lat),
+              "request"));
+        }
+        for (auto& r : reqs) co_await r.Join();
+        b.Close();
+      }(exp, batcher, n_items, mean_gap, seed, latencies),
+      "arrival-process");
+  exp.FinishManualRun();
+  return BatchRunStats{latencies->Mean(), latencies->Percentile(95),
+                       batcher.MeanBatchOccupancy(),
+                       batcher.batches_executed()};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Request batching under Poisson item arrivals",
+                     "extension of paper §2.1's batching layer");
+
+  // --- timeout sweep ------------------------------------------------------
+  metrics::Table t({"Batch timeout (ms)", "Batches", "Mean occupancy",
+                    "Mean latency (ms)", "p95 latency (ms)"});
+  for (int timeout_ms : {2, 50, 500}) {
+    serving::Experiment exp(serving::ServerOptions{.seed = 83});
+    serving::Batcher::Options o;
+    o.allowed_batch_sizes = {4, 8, 16, 32};
+    o.batch_timeout = sim::Duration::Millis(timeout_ms);
+    serving::Batcher batcher(exp, "resnet-50", o);
+    const auto s =
+        DriveBatcher(exp, batcher, 150, sim::Duration::Millis(30), 83);
+    t.AddRow({std::to_string(timeout_ms), std::to_string(s.batches),
+              metrics::Table::Pct(s.occupancy),
+              metrics::Table::Num(s.mean_latency_ms, 1),
+              metrics::Table::Num(s.p95_latency_ms, 1)});
+  }
+  t.Print(std::cout);
+  std::cout << "Longer timeouts fill batches (higher occupancy, fewer GPU\n"
+               "launches) at the cost of queueing latency.\n\n";
+
+  // --- two batchers under Olympian fair sharing ---------------------------
+  {
+    core::Profiler profiler;
+    const auto a20 = profiler.ProfileModel("resnet-50", 20);
+    const auto a60 = profiler.ProfileModel("resnet-50", 60);
+    const auto b20 = profiler.ProfileModel("googlenet", 20);
+    const auto b60 = profiler.ProfileModel("googlenet", 60);
+
+    serving::Experiment exp(serving::ServerOptions{.seed = 89});
+    core::Scheduler sched(exp.env(), exp.gpu(),
+                          std::make_unique<core::FairPolicy>());
+    const auto q = sim::Duration::Micros(1600);
+    // SetProfile requires stable storage; keep the interpolated profiles
+    // alive for the run.
+    std::vector<core::ModelProfile> owned;
+    for (int size : {8, 16, 32}) {
+      owned.push_back(core::Profiler::Interpolate(a20, a60, size));
+      owned.push_back(core::Profiler::Interpolate(b20, b60, size));
+    }
+    for (const auto& p : owned) {
+      sched.SetProfile(p.key, &p.cost, core::Profiler::ThresholdFor(p, q));
+    }
+    exp.SetHooks(&sched);
+
+    serving::Batcher::Options o;
+    o.allowed_batch_sizes = {8, 16, 32};
+    o.batch_timeout = sim::Duration::Millis(10);
+    serving::Batcher ba(exp, "resnet-50", o);
+    serving::Batcher bb(exp, "googlenet", o);
+
+    // Drive both with a shared arrival process.
+    auto drive = [&](serving::Batcher& b, std::uint64_t seed) {
+      return exp.env().Spawn(
+          [](serving::Experiment& e, serving::Batcher& bat, std::uint64_t sd)
+              -> sim::Task {
+            sim::Rng rng(sd);
+            std::vector<sim::Process> reqs;
+            for (int i = 0; i < 200; ++i) {
+              co_await e.env().Delay(sim::Duration::Millis(3) *
+                                     (-std::log(1.0 - rng.NextDouble())));
+              reqs.push_back(e.env().Spawn(
+                  [](serving::Batcher& bt) -> sim::Task {
+                    co_await bt.Infer();
+                  }(bat),
+                  "request"));
+            }
+            for (auto& r : reqs) co_await r.Join();
+            bat.Close();
+          }(exp, b, seed),
+          "arrivals");
+    };
+    drive(ba, 101);
+    drive(bb, 202);
+    exp.FinishManualRun();
+
+    std::cout << "--- two batched models under Olympian fair sharing ---\n"
+              << "  resnet-50: " << ba.items_served() << " items in "
+              << ba.batches_executed() << " batches, GPU duration "
+              << metrics::Table::Num(
+                     exp.gpu().JobGpuDuration(0).seconds(), 2)
+              << " s\n"
+              << "  googlenet: " << bb.items_served() << " items in "
+              << bb.batches_executed() << " batches, GPU duration "
+              << metrics::Table::Num(
+                     exp.gpu().JobGpuDuration(1).seconds(), 2)
+              << " s\n"
+              << "  scheduler switches: " << sched.switches() << "\n"
+              << "Profiles for every allowed batch size came from the\n"
+                 "Figure-20 linear regression of two measured sizes.\n";
+  }
+  return 0;
+}

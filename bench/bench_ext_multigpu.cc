@@ -1,0 +1,88 @@
+// Extension (paper future work, §7): multiple GPUs in one server. Clients
+// are placed round-robin across devices; each device runs its own driver
+// and its own Olympian scheduler (a token is a per-device grant).
+//
+// 20 Inception clients on 1 vs 2 GPUs, stock TF-Serving vs per-device
+// Olympian fair sharing.
+
+#include <iostream>
+#include <memory>
+
+#include "harness.h"
+
+using namespace olympian;
+
+namespace {
+
+void Report(const char* label,
+            const std::vector<serving::ClientResult>& results,
+            sim::Duration makespan) {
+  metrics::Series per_gpu_cv[2];
+  metrics::Series all;
+  for (const auto& r : results) {
+    all.Add(r.finish_time.seconds());
+    per_gpu_cv[r.gpu_index % 2].Add(r.finish_time.seconds());
+  }
+  std::cout << "  " << label << ": makespan "
+            << metrics::Table::Num(makespan.seconds(), 2) << " s, finishes "
+            << metrics::Table::Num(all.Min(), 2) << " - "
+            << metrics::Table::Num(all.Max(), 2) << " s";
+  if (!per_gpu_cv[1].empty()) {
+    std::cout << "  (per-device CV " << metrics::Table::Pct(per_gpu_cv[0].Cv())
+              << " / " << metrics::Table::Pct(per_gpu_cv[1].Cv()) << ")";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Multi-GPU serving (extension)", "paper §7 future work");
+
+  bench::ProfileCache profiles;
+  const auto& prof = profiles.Get("inception-v4", 100);
+  const auto q = sim::Duration::Micros(1600);
+  const auto clients = bench::HomogeneousClients("inception-v4", 100, 20, 5);
+
+  // --- one GPU ------------------------------------------------------------
+  {
+    serving::ServerOptions opts;
+    opts.seed = 73;
+    serving::Experiment exp(opts);
+    const auto r = exp.Run(clients);
+    Report("1 GPU, TF-Serving   ", r, exp.makespan());
+  }
+  // --- two GPUs, stock ------------------------------------------------------
+  {
+    serving::ServerOptions opts;
+    opts.seed = 73;
+    opts.num_gpus = 2;
+    serving::Experiment exp(opts);
+    const auto r = exp.Run(clients);
+    Report("2 GPUs, TF-Serving  ", r, exp.makespan());
+  }
+  // --- two GPUs, Olympian fair (one scheduler per device) -----------------
+  {
+    serving::ServerOptions opts;
+    opts.seed = 73;
+    opts.num_gpus = 2;
+    serving::Experiment exp(opts);
+    core::Scheduler sched0(exp.env(), exp.gpu(0),
+                           std::make_unique<core::FairPolicy>());
+    core::Scheduler sched1(exp.env(), exp.gpu(1),
+                           std::make_unique<core::FairPolicy>());
+    for (core::Scheduler* s : {&sched0, &sched1}) {
+      s->SetProfile(prof.key, &prof.cost,
+                    core::Profiler::ThresholdFor(prof, q));
+    }
+    exp.SetGpuHooks(0, &sched0);
+    exp.SetGpuHooks(1, &sched1);
+    const auto r = exp.Run(clients);
+    Report("2 GPUs, Olympian    ", r, exp.makespan());
+  }
+
+  std::cout << "\nExpected shape: two devices halve the makespan; per-device\n"
+               "Olympian schedulers equalize finish times within each device\n"
+               "(per-device CV ~0) while stock TF-Serving stays spread.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 4: the CDF of per-node execution durations for one
+// Inception job at two batch sizes. Short node durations are what make
+// node-granularity switching cheap.
+
+#include <iostream>
+
+#include "harness.h"
+
+using namespace olympian;
+
+namespace {
+
+// Uncontended execution duration of each GPU node's kernel on the reference
+// device (the quantity Figure 4 plots).
+metrics::Series NodeDurationsUs(const graph::Graph& g, int batch) {
+  const auto spec = gpusim::GpuSpec::Gtx1080Ti();
+  metrics::Series s;
+  for (const auto& n : g.nodes()) {
+    if (!n.is_gpu()) continue;
+    const auto blocks = n.BlocksFor(batch);
+    const auto waves =
+        (blocks + spec.total_block_slots() - 1) / spec.total_block_slots();
+    s.Add(n.block_work.micros() * static_cast<double>(waves) +
+          n.cpu_time.micros());
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Node duration CDF, Inception, batch 10 vs 100",
+                     "Figure 4");
+
+  const graph::Graph g = models::BuildModel(models::GetModel("inception-v4"));
+  auto d10 = NodeDurationsUs(g, 10);
+  auto d100 = NodeDurationsUs(g, 100);
+
+  metrics::Table t({"Node duration (us)", "CDF batch-10", "CDF batch-100"});
+  for (double x : {5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0,
+                   5000.0, 10000.0}) {
+    t.AddRow({metrics::Table::Num(x, 0), metrics::Table::Num(d10.CdfAt(x), 3),
+              metrics::Table::Num(d100.CdfAt(x), 3)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nbatch-100: " << metrics::Table::Pct(d100.CdfAt(30.0))
+            << " of GPU nodes under 30us, " << metrics::Table::Pct(d100.CdfAt(1000.0))
+            << " under 1ms (paper: >80% under ~20us, >90% under 1ms).\n";
+  return 0;
+}

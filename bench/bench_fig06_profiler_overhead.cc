@@ -1,0 +1,38 @@
+// Reproduces Figure 6: the overhead of running Tensorflow's online cost
+// profiler — the reason Olympian profiles offline. One client, one batch
+// run per model, profiler off vs on.
+
+#include <iostream>
+
+#include "harness.h"
+#include "models/model_zoo.h"
+
+using namespace olympian;
+
+int main() {
+  bench::PrintHeader("Online cost-profiler overhead", "Figure 6");
+
+  metrics::Table t({"Model", "Off (s)", "On (s)", "Overhead"});
+  double min_ov = 1e9, max_ov = 0;
+  for (const models::ModelSpec& spec : models::AllModels()) {
+    serving::ServerOptions off;
+    off.seed = 11;
+    serving::ServerOptions on = off;
+    on.executor.online_cost_profiler = true;
+
+    const std::vector<serving::ClientSpec> clients{
+        {.model = spec.name, .batch = spec.paper_batch, .num_batches = 2}};
+    const auto r_off = bench::RunBaseline(off, clients);
+    const auto r_on = bench::RunBaseline(on, clients);
+    const double ov = (r_on.makespan - r_off.makespan).Ratio(r_off.makespan);
+    min_ov = std::min(min_ov, ov);
+    max_ov = std::max(max_ov, ov);
+    t.AddRow({spec.name, bench::FmtSeconds(r_off.makespan),
+              bench::FmtSeconds(r_on.makespan), metrics::Table::Pct(ov)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nOnline profiling inflates runtimes by "
+            << metrics::Table::Pct(min_ov) << " - " << metrics::Table::Pct(max_ov)
+            << " (paper: 21% - 29%), which is why Olympian profiles offline.\n";
+  return 0;
+}

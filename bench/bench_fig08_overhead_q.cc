@@ -1,0 +1,45 @@
+// Reproduces Figure 8: the Overhead-Q curves for the seven DNNs — measured
+// overhead of Olympian (two instances, fair sharing) vs stock TF-Serving,
+// as a function of the quantum Q. Overhead decreases as Q grows.
+
+#include <iostream>
+
+#include "harness.h"
+#include "models/model_zoo.h"
+
+using namespace olympian;
+
+int main() {
+  bench::PrintHeader("Overhead-Q curves for the seven DNNs", "Figure 8");
+
+  bench::ProfileCache profiles;
+  std::vector<std::string> headers{"Q (us)"};
+  for (const auto& spec : models::AllModels()) headers.push_back(spec.name);
+  metrics::Table t(std::move(headers));
+
+  // Compute all curves (this is the profiler's own measurement loop).
+  std::vector<const core::ModelProfile*> all;
+  for (const auto& spec : models::AllModels()) {
+    all.push_back(&profiles.GetWithCurve(spec.name, spec.paper_batch));
+  }
+
+  const std::size_t points = all.front()->overhead_q.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<std::string> row{
+        metrics::Table::Num(all.front()->overhead_q[i].first.micros(), 0)};
+    for (const auto* p : all) {
+      row.push_back(metrics::Table::Pct(p->overhead_q[i].second));
+    }
+    t.AddRow(std::move(row));
+  }
+  t.Print(std::cout);
+
+  const auto q25 = core::Profiler::SelectQ(all, 0.025);
+  const auto q20 = core::Profiler::SelectQ(all, 0.020);
+  std::cout << "\nQ for 2.5% tolerance across all models: "
+            << metrics::Table::Num(q25.micros(), 0) << " us (paper: ~1190 us)\n"
+            << "Q for 2.0% tolerance across all models: "
+            << metrics::Table::Num(q20.micros(), 0) << " us (paper: ~1620 us)\n"
+            << "Expected shape: overhead decreases with Q for every model.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 20: node-cost profiles for unprofiled batch sizes are
+// synthesized by linear regression from two profiled batch sizes (50 and
+// 100), and fair sharing remains as good as with directly-measured profiles.
+
+#include <iostream>
+
+#include "harness.h"
+
+using namespace olympian;
+
+namespace {
+
+metrics::Series RunWithProfile(const core::ModelProfile& profile, int batch,
+                               sim::Duration q) {
+  serving::Experiment exp([]{
+    serving::ServerOptions o;
+    o.seed = 37;
+    return o;
+  }());
+  core::Scheduler sched(exp.env(), exp.gpu(),
+                        std::make_unique<core::FairPolicy>());
+  sched.SetProfile(profile.key, &profile.cost,
+                   core::Profiler::ThresholdFor(profile, q));
+  exp.SetHooks(&sched);
+  auto results =
+      exp.Run(bench::HomogeneousClients("inception-v4", batch, 10, 10));
+  metrics::Series finishes;
+  for (const auto& r : results) finishes.Add(r.finish_time.seconds());
+  return finishes;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Linear cost model across batch sizes (profiles from 50 & 100)",
+      "Figure 20");
+
+  bench::ProfileCache profiles;
+  const auto& p50 = profiles.Get("inception-v4", 50);
+  const auto& p100 = profiles.GetWithCurve("inception-v4", 100);
+  const auto q = core::Profiler::SelectQ({&p100}, 0.025);
+
+  metrics::Table t({"Batch", "Min finish (s)", "Max finish (s)", "CV",
+                    "Predicted C (s)", "Measured C (s)"});
+  for (int batch : {25, 75, 150}) {
+    const auto interp = core::Profiler::Interpolate(p50, p100, batch);
+    const auto finishes = RunWithProfile(interp, batch, q);
+    // Compare the regressed total cost against a direct measurement.
+    const auto& direct = profiles.Get("inception-v4", batch);
+    t.AddRow({std::to_string(batch),
+              metrics::Table::Num(finishes.Min(), 2),
+              metrics::Table::Num(finishes.Max(), 2),
+              metrics::Table::Pct(finishes.Cv()),
+              metrics::Table::Num(interp.TotalCost() / 1e9, 2),
+              metrics::Table::Num(direct.TotalCost() / 1e9, 2)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: fairness (tight min-max spread, low CV) is\n"
+               "comparable to Figure 11's directly-profiled runs, so a few\n"
+               "profiled batch sizes suffice per model.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks for the hot paths: the simulation event
+// loop, GPU submission, and Olympian's per-node scheduler hooks. These bound
+// the simulator's own cost, not the modeled system's.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "gpusim/gpu.h"
+#include "graph/thread_pool.h"
+#include "serving/server.h"
+#include "sim/environment.h"
+
+using namespace olympian;
+
+namespace {
+
+// Throughput of the raw event loop: one self-rescheduling process.
+void BM_EventLoopDelay(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Environment env;
+    const int n = 10000;
+    env.Spawn([](sim::Environment& e, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) {
+        co_await e.Delay(sim::Duration::Nanos(10));
+      }
+    }(env, n));
+    env.Run();
+    benchmark::DoNotOptimize(env.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventLoopDelay)->Unit(benchmark::kMillisecond);
+
+// Condition-variable ping-pong between two processes.
+void BM_CondVarPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Environment env;
+    sim::CondVar a(env), b(env);
+    const int n = 5000;
+    env.Spawn([](sim::CondVar& left, sim::CondVar& right, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) {
+        right.NotifyOne();
+        co_await left.Wait();
+      }
+      right.NotifyOne();
+    }(a, b, n));
+    env.Spawn([](sim::CondVar& left, sim::CondVar& right, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) {
+        co_await right.Wait();
+        left.NotifyOne();
+      }
+    }(a, b, n));
+    env.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_CondVarPingPong)->Unit(benchmark::kMillisecond);
+
+// GPU submission path: small kernels through one stream.
+void BM_GpuSubmitPath(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Environment env;
+    gpusim::Gpu gpu(env, gpusim::Gpu::Options{.seed = 1});
+    const auto s = gpu.CreateStream();
+    const int n = 5000;
+    env.Spawn([](gpusim::Gpu& g, gpusim::StreamId st, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) {
+        co_await g.Submit(st, gpusim::KernelDesc{
+                                  .job = 0,
+                                  .thread_blocks = 64,
+                                  .block_work = sim::Duration::Micros(5)});
+      }
+    }(gpu, s, n));
+    env.Run();
+    benchmark::DoNotOptimize(gpu.kernels_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_GpuSubmitPath)->Unit(benchmark::kMillisecond);
+
+// The scheduler's per-node hot path: OnNodeComputed cost accrual + rotation.
+void BM_SchedulerAccrual(benchmark::State& state) {
+  sim::Environment env;
+  gpusim::Gpu gpu(env, gpusim::Gpu::Options{.seed = 1});
+  core::Scheduler sched(env, gpu, std::make_unique<core::FairPolicy>());
+  graph::CostProfile profile(4);
+  profile.RecordNodeCost(0, 100.0);
+  profile.gpu_duration = sim::Duration::Millis(1);
+  sched.SetProfile("m@1", &profile, 1000.0);
+  graph::JobContext a, b;
+  a.job = 0;
+  a.model_key = "m@1";
+  b.job = 1;
+  b.model_key = "m@1";
+  sched.RegisterRun(a);
+  sched.RegisterRun(b);
+  graph::Node node;
+  node.id = 0;
+  node.device = graph::Device::kGpu;
+  for (auto _ : state) {
+    sched.OnNodeComputed(sched.token() == 0 ? a : b, node);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerAccrual);
+
+// End-to-end: one full serving experiment per iteration (small workload).
+void BM_SmallServingExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    serving::ServerOptions opts;
+    opts.seed = 3;
+    serving::Experiment exp(opts);
+    auto results = exp.Run(
+        {serving::ClientSpec{.model = "resnet-152", .batch = 20, .num_batches = 1},
+         serving::ClientSpec{.model = "resnet-152", .batch = 20, .num_batches = 1}});
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_SmallServingExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

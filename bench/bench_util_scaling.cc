@@ -1,0 +1,107 @@
+// Reproduces §4.3: GPU utilization under each scheduler, and scalability —
+// the maximum number of concurrent clients each system sustains, with the
+// limiting resource (GPU memory vs thread pool).
+
+#include <iostream>
+
+#include "harness.h"
+
+using namespace olympian;
+
+namespace {
+
+// Largest client count in `counts` that completes; reports the limiter.
+struct Capacity {
+  int max_clients = 0;
+  std::string limiter = "none";
+};
+
+Capacity FindCapacity(const std::string& model, int batch, bool olympian,
+                      bench::ProfileCache& profiles, sim::Duration q) {
+  Capacity cap;
+  for (int n = 10; n <= 140; n += 10) {
+    const auto clients = bench::HomogeneousClients(model, batch, n, 1);
+    serving::ServerOptions opts;
+    opts.seed = 55;
+    try {
+      if (olympian) {
+        bench::RunOlympian(opts, clients, "fair", q, profiles);
+      } else {
+        bench::RunBaseline(opts, clients);
+      }
+      cap.max_clients = n;
+    } catch (const gpusim::OutOfDeviceMemory&) {
+      cap.limiter = "GPU memory";
+      break;
+    } catch (const serving::ServerStalled&) {
+      cap.limiter = "thread pool";
+      break;
+    }
+  }
+  return cap;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("GPU utilization and scalability", "Section 4.3");
+
+  bench::ProfileCache profiles;
+  const auto& prof = profiles.GetWithCurve("inception-v4", 100);
+  const auto q = core::Profiler::SelectQ({&prof}, 0.025);
+
+  // --- utilization: 10 Inception clients under each scheduler -----------
+  const auto clients = bench::HomogeneousClients("inception-v4", 100, 10, 10);
+  serving::ServerOptions opts;
+  opts.seed = 47;
+
+  const auto base = bench::RunBaseline(opts, clients);
+
+  auto weighted = clients;
+  for (std::size_t i = 0; i < 5; ++i) weighted[i].weight = 2;
+  auto prio = clients;
+  for (std::size_t i = 0; i < prio.size(); ++i) {
+    prio[i].priority = 10 - static_cast<int>(i);
+  }
+  const auto fair = bench::RunOlympian(opts, clients, "fair", q, profiles);
+  const auto wfair =
+      bench::RunOlympian(opts, weighted, "weighted-fair", q, profiles);
+  const auto pr = bench::RunOlympian(opts, prio, "priority", q, profiles);
+
+  metrics::Table ut({"Scheduler", "GPU utilization", "Paper"});
+  ut.AddRow({"TF-Serving (default)", metrics::Table::Pct(base.utilization),
+             "84.7%"});
+  ut.AddRow({"Olympian fair", metrics::Table::Pct(fair.utilization), "78.6%"});
+  ut.AddRow({"Olympian weighted-fair", metrics::Table::Pct(wfair.utilization),
+             "78.1%"});
+  ut.AddRow({"Olympian priority", metrics::Table::Pct(pr.utilization),
+             "76.4%"});
+  ut.Print(std::cout);
+  std::cout << "Expected shape: Olympian sacrifices a few percent of\n"
+               "utilization vs TF-Serving (paper: 6-8%; here less, because\n"
+               "our simulated jobs keep their own pipelines fuller than the\n"
+               "paper's real single-job duty cycle).\n\n";
+
+  // --- scalability -------------------------------------------------------
+  metrics::Table st({"System", "Model", "Max clients", "Limited by",
+                     "Paper"});
+  {
+    const auto tfs = FindCapacity("inception-v4", 100, false, profiles, q);
+    st.AddRow({"TF-Serving", "inception-v4", std::to_string(tfs.max_clients),
+               tfs.limiter, "~100 (memory)"});
+    const auto oly = FindCapacity("inception-v4", 100, true, profiles, q);
+    st.AddRow({"Olympian", "inception-v4", std::to_string(oly.max_clients),
+               oly.limiter, "40-60 (threads)"});
+    const auto tfs_r = FindCapacity("resnet-152", 100, false, profiles, q);
+    st.AddRow({"TF-Serving", "resnet-152", std::to_string(tfs_r.max_clients),
+               tfs_r.limiter, "~45 (memory)"});
+    const auto oly_r = FindCapacity("resnet-152", 100, true, profiles, q);
+    st.AddRow({"Olympian", "resnet-152", std::to_string(oly_r.max_clients),
+               oly_r.limiter, "~45 (memory)"});
+  }
+  st.Print(std::cout);
+  std::cout << "\nExpected shape: TF-Serving is memory-limited; for Inception\n"
+               "Olympian hits the thread-pool limit first because suspended\n"
+               "gangs hold pool threads across quanta.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <set>
+
+#include "models/model_zoo.h"
+
+namespace olympian::bench {
+
+const core::ModelProfile& ProfileCache::Get(const std::string& model,
+                                            int batch) {
+  const std::string key = models::ModelKey(model, batch);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto p = std::make_unique<core::ModelProfile>(
+        profiler_.ProfileModel(model, batch));
+    it = cache_.emplace(key, std::move(p)).first;
+  }
+  return *it->second;
+}
+
+const core::ModelProfile& ProfileCache::GetWithCurve(const std::string& model,
+                                                     int batch) {
+  const core::ModelProfile& p = Get(model, batch);
+  if (p.overhead_q.empty()) {
+    profiler_.ComputeOverheadQCurve(
+        *cache_.at(models::ModelKey(model, batch)));
+  }
+  return p;
+}
+
+RunOutcome RunBaseline(const serving::ServerOptions& server,
+                       const std::vector<serving::ClientSpec>& clients) {
+  serving::Experiment exp(server);
+  RunOutcome out;
+  out.clients = exp.Run(clients);
+  out.makespan = exp.makespan();
+  out.utilization = exp.utilization();
+  return out;
+}
+
+namespace {
+
+RunOutcome RunWithScheduler(const serving::ServerOptions& server,
+                            const std::vector<serving::ClientSpec>& clients,
+                            const std::string& policy, sim::Duration q,
+                            ProfileCache* profiles, bool wall_clock) {
+  serving::Experiment exp(server);
+  core::Scheduler::Options sopts;
+  sopts.use_wall_clock = wall_clock;
+  sopts.wall_quantum = q;
+  core::Scheduler sched(exp.env(), exp.gpu(), core::MakePolicy(policy), sopts);
+
+  if (!wall_clock) {
+    std::set<std::pair<std::string, int>> seen;
+    for (const auto& c : clients) seen.insert({c.model, c.batch});
+    for (const auto& [model, batch] : seen) {
+      const core::ModelProfile& p = profiles->Get(model, batch);
+      sched.SetProfile(p.key, &p.cost, core::Profiler::ThresholdFor(p, q));
+    }
+  }
+
+  exp.SetHooks(&sched);
+  RunOutcome out;
+  out.clients = exp.Run(clients);
+  out.makespan = exp.makespan();
+  out.utilization = exp.utilization();
+  out.switches = sched.switches();
+  out.quanta = sched.quanta_completed();
+  out.quantum_log = sched.quantum_log();
+  return out;
+}
+
+}  // namespace
+
+RunOutcome RunOlympian(const serving::ServerOptions& server,
+                       const std::vector<serving::ClientSpec>& clients,
+                       const std::string& policy, sim::Duration q,
+                       ProfileCache& profiles) {
+  return RunWithScheduler(server, clients, policy, q, &profiles, false);
+}
+
+RunOutcome RunCpuTimerAblation(const serving::ServerOptions& server,
+                               const std::vector<serving::ClientSpec>& clients,
+                               const std::string& policy, sim::Duration q) {
+  return RunWithScheduler(server, clients, policy, q, nullptr, true);
+}
+
+std::map<gpusim::JobId, QuantumStats> PerJobQuantumStats(
+    const RunOutcome& run, std::size_t expected_jobs) {
+  std::map<gpusim::JobId, metrics::Series> per_job;
+  for (const auto& rec : run.quantum_log) {
+    if (rec.active_jobs != expected_jobs) continue;  // only full occupancy
+    per_job[rec.job].Add(rec.gpu_duration.micros());
+  }
+  std::map<gpusim::JobId, QuantumStats> out;
+  for (auto& [job, series] : per_job) {
+    out[job] = QuantumStats{series.Mean(), series.Stddev(), series.count()};
+  }
+  return out;
+}
+
+std::vector<serving::ClientSpec> HomogeneousClients(const std::string& model,
+                                                    int batch, int count,
+                                                    int num_batches) {
+  return std::vector<serving::ClientSpec>(
+      static_cast<std::size_t>(count),
+      serving::ClientSpec{
+          .model = model, .batch = batch, .num_batches = num_batches});
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s of \"Olympian\", Middleware 2018)\n\n",
+              paper_ref.c_str());
+}
+
+std::string FmtSeconds(sim::Duration d) {
+  return metrics::Table::Num(d.seconds(), 2);
+}
+
+}  // namespace olympian::bench

@@ -1,0 +1,83 @@
+#pragma once
+
+// Shared harness for the per-figure/table bench binaries. Each binary
+// regenerates the rows/series of one paper table or figure; this header
+// provides the common plumbing: profiling with caching, building Olympian
+// experiments, and result summaries.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+#include "serving/server.h"
+
+namespace olympian::bench {
+
+// Profiles (model, batch) pairs once and memoizes them for the binary's
+// lifetime. Overhead-Q curves are computed lazily on first request.
+class ProfileCache {
+ public:
+  explicit ProfileCache(core::ProfilerOptions opts = {}) : profiler_(opts) {}
+
+  const core::ModelProfile& Get(const std::string& model, int batch);
+  const core::ModelProfile& GetWithCurve(const std::string& model, int batch);
+  const core::Profiler& profiler() const { return profiler_; }
+
+ private:
+  core::Profiler profiler_;
+  std::map<std::string, std::unique_ptr<core::ModelProfile>> cache_;
+};
+
+// Outcome of one workload run (either system).
+struct RunOutcome {
+  std::vector<serving::ClientResult> clients;
+  sim::Duration makespan;
+  double utilization = 0.0;
+  // Olympian-only:
+  std::uint64_t switches = 0;
+  std::uint64_t quanta = 0;
+  std::vector<core::Scheduler::QuantumRecord> quantum_log;
+};
+
+// Stock TF-Serving run.
+RunOutcome RunBaseline(const serving::ServerOptions& server,
+                       const std::vector<serving::ClientSpec>& clients);
+
+// Olympian run: installs profiles for every (model,batch) in the workload,
+// computes thresholds from `q`, and applies the named policy
+// ("fair" | "weighted-fair" | "priority").
+RunOutcome RunOlympian(const serving::ServerOptions& server,
+                       const std::vector<serving::ClientSpec>& clients,
+                       const std::string& policy, sim::Duration q,
+                       ProfileCache& profiles);
+
+// Figure 19 ablation: Olympian's mechanism with a plain CPU-timer quantum.
+RunOutcome RunCpuTimerAblation(const serving::ServerOptions& server,
+                               const std::vector<serving::ClientSpec>& clients,
+                               const std::string& policy, sim::Duration q);
+
+// Mean GPU-duration-per-quantum per job, over quanta recorded while all
+// `expected_jobs` jobs were active (how the paper measures Figures 14/16).
+struct QuantumStats {
+  double mean_us = 0.0;
+  double stddev_us = 0.0;
+  std::size_t count = 0;
+};
+std::map<gpusim::JobId, QuantumStats> PerJobQuantumStats(
+    const RunOutcome& run, std::size_t expected_jobs);
+
+// N identical clients of one model (the paper's default workload shape).
+std::vector<serving::ClientSpec> HomogeneousClients(const std::string& model,
+                                                    int batch, int count,
+                                                    int num_batches = 10);
+
+// Pretty-print helpers shared by the binaries.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+std::string FmtSeconds(sim::Duration d);
+
+}  // namespace olympian::bench

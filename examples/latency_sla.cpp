@@ -1,0 +1,83 @@
+// Latency SLA via priority scheduling: an interactive, latency-sensitive
+// service (small batches, high priority) shares the GPU with bulk offline
+// scoring jobs (large batches, low priority) — the paper's motivating
+// service-differentiation use case (§1, Figure 18).
+//
+// The example compares the interactive job's completion latency under stock
+// TF-Serving (where the bulk jobs' kernels interleave arbitrarily with it)
+// against Olympian priority scheduling (where it preempts the bulk work at
+// quantum granularity).
+//
+//   $ ./examples/latency_sla
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "serving/server.h"
+
+using namespace olympian;
+
+namespace {
+
+std::vector<serving::ClientSpec> Workload() {
+  std::vector<serving::ClientSpec> clients;
+  // The interactive service: 20 small requests, latency-critical.
+  clients.push_back({.model = "resnet-50",
+                     .batch = 16,
+                     .num_batches = 20,
+                     .priority = 10});
+  // Three bulk scoring jobs: big batches, throughput-oriented.
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back({.model = "vgg16",
+                       .batch = 120,
+                       .num_batches = 6,
+                       .priority = 1});
+  }
+  return clients;
+}
+
+}  // namespace
+
+int main() {
+  core::Profiler profiler;
+  const auto p_interactive = profiler.ProfileModel("resnet-50", 16);
+  const auto p_bulk = profiler.ProfileModel("vgg16", 120);
+  const auto q = sim::Duration::Micros(1200);
+
+  const auto workload = Workload();
+
+  // --- stock TF-Serving ---------------------------------------------------
+  serving::Experiment base(serving::ServerOptions{.seed = 29});
+  const auto base_results = base.Run(workload);
+
+  // --- Olympian priority scheduling ---------------------------------------
+  serving::Experiment oly(serving::ServerOptions{.seed = 29});
+  core::Scheduler scheduler(oly.env(), oly.gpu(),
+                            std::make_unique<core::PriorityPolicy>());
+  scheduler.SetProfile(p_interactive.key, &p_interactive.cost,
+                       core::Profiler::ThresholdFor(p_interactive, q));
+  scheduler.SetProfile(p_bulk.key, &p_bulk.cost,
+                       core::Profiler::ThresholdFor(p_bulk, q));
+  oly.SetHooks(&scheduler);
+  const auto oly_results = oly.Run(workload);
+
+  std::printf("%-28s %-18s %s\n", "client", "TF-Serving finish",
+              "Olympian-priority finish");
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    std::printf("%-28s %8.2f s %19.2f s\n", base_results[i].name.c_str(),
+                base_results[i].finish_time.seconds(),
+                oly_results[i].finish_time.seconds());
+  }
+
+  const double speedup = base_results[0].finish_time.seconds() /
+                         oly_results[0].finish_time.seconds();
+  std::printf("\nInteractive job completes %.1fx sooner under priority\n"
+              "scheduling; bulk jobs absorb the delay. (Overflow kernels\n"
+              "mean the bulk jobs still finish each in-flight node, so the\n"
+              "interactive job's gain is quantum-granular, not instant.)\n",
+              speedup);
+  return 0;
+}

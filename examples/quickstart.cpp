@@ -1,0 +1,65 @@
+// Quickstart: serve two concurrent DNN inference jobs on one simulated GPU,
+// first on stock TF-Serving, then under Olympian fair sharing.
+//
+//   $ ./examples/quickstart
+//
+// This walks the whole public API surface in ~60 lines: profile a model
+// offline, pick a quantum, install the scheduler, run a workload.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "serving/server.h"
+
+using namespace olympian;
+
+int main() {
+  // --- 1. Offline profiling (once per model+batch, reused forever) -------
+  core::Profiler profiler;
+  core::ModelProfile profile = profiler.ProfileModel("resnet-152", 64);
+  std::printf("profiled %s: C=%.3f s of cost, D=%.3f s GPU duration, "
+              "rate C/D=%.2f\n",
+              profile.key.c_str(), profile.TotalCost() / 1e9,
+              profile.GpuDuration().seconds(), profile.CostAccumulationRate());
+
+  // --- 2. The workload: two clients, five batches each --------------------
+  const std::vector<serving::ClientSpec> clients(
+      2, {.model = "resnet-152", .batch = 64, .num_batches = 5});
+
+  // --- 3. Stock TF-Serving: the driver decides, unpredictably ------------
+  {
+    serving::Experiment exp(serving::ServerOptions{.seed = 7});
+    auto results = exp.Run(clients);
+    std::printf("\nTF-Serving:\n");
+    for (const auto& r : results) {
+      std::printf("  %-14s finished at %.2f s (GPU duration %.2f s)\n",
+                  r.name.c_str(), r.finish_time.seconds(),
+                  r.gpu_duration.seconds());
+    }
+    std::printf("  GPU utilization %.1f%%\n", exp.utilization() * 100);
+  }
+
+  // --- 4. Olympian: fair sharing at a 1.2 ms quantum ----------------------
+  {
+    serving::Experiment exp(serving::ServerOptions{.seed = 7});
+    core::Scheduler scheduler(exp.env(), exp.gpu(),
+                              std::make_unique<core::FairPolicy>());
+    const auto q = sim::Duration::Micros(1200);
+    scheduler.SetProfile(profile.key, &profile.cost,
+                         core::Profiler::ThresholdFor(profile, q));
+    exp.SetHooks(&scheduler);
+    auto results = exp.Run(clients);
+    std::printf("\nOlympian (fair, Q=%.1f ms):\n", q.millis());
+    for (const auto& r : results) {
+      std::printf("  %-14s finished at %.2f s (GPU duration %.2f s)\n",
+                  r.name.c_str(), r.finish_time.seconds(),
+                  r.gpu_duration.seconds());
+    }
+    std::printf("  GPU utilization %.1f%%, %llu token switches\n",
+                exp.utilization() * 100,
+                static_cast<unsigned long long>(scheduler.switches()));
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace olympian::core {
+
+namespace {
+
+// Index of `id` in registration order, or -1.
+int IndexOf(const std::vector<JobEntry>& jobs, gpusim::JobId id) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Next index after `from` (circular); `from` may be -1 (start at 0).
+std::size_t NextIndex(std::size_t size, int from) {
+  return static_cast<std::size_t>(from + 1) % size;
+}
+
+}  // namespace
+
+gpusim::JobId FairPolicy::NextJob(std::vector<JobEntry>& jobs,
+                                  gpusim::JobId current) {
+  if (jobs.empty()) return gpusim::kNoJob;
+  const int cur = IndexOf(jobs, current);
+  return jobs[NextIndex(jobs.size(), cur)].id;
+}
+
+gpusim::JobId WeightedFairPolicy::NextJob(std::vector<JobEntry>& jobs,
+                                          gpusim::JobId current) {
+  if (jobs.empty()) return gpusim::kNoJob;
+  const int cur = IndexOf(jobs, current);
+  if (cur >= 0) {
+    JobEntry& e = jobs[static_cast<std::size_t>(cur)];
+    if (--e.turn_remaining > 0) return e.id;  // continue this job's turn
+  }
+  JobEntry& next = jobs[NextIndex(jobs.size(), cur)];
+  next.turn_remaining = std::max(1, next.ctx->weight);
+  return next.id;
+}
+
+gpusim::JobId PriorityPolicy::NextJob(std::vector<JobEntry>& jobs,
+                                      gpusim::JobId current) {
+  if (jobs.empty()) return gpusim::kNoJob;
+  int best = jobs[0].ctx->priority;
+  for (const JobEntry& e : jobs) best = std::max(best, e.ctx->priority);
+  // Round-robin among the highest-priority jobs, starting after `current`.
+  const int cur = IndexOf(jobs, current);
+  const int n = static_cast<int>(jobs.size());
+  for (int step = 1; step <= n; ++step) {
+    const JobEntry& e = jobs[static_cast<std::size_t>((cur + step) % n)];
+    if (e.ctx->priority == best) return e.id;
+  }
+  return gpusim::kNoJob;  // unreachable
+}
+
+gpusim::JobId LotteryPolicy::NextJob(std::vector<JobEntry>& jobs,
+                                     gpusim::JobId current) {
+  (void)current;  // memoryless by design
+  if (jobs.empty()) return gpusim::kNoJob;
+  std::int64_t total = 0;
+  for (const JobEntry& e : jobs) total += std::max(1, e.ctx->weight);
+  std::int64_t ticket = rng_.UniformInt(0, total - 1);
+  for (const JobEntry& e : jobs) {
+    ticket -= std::max(1, e.ctx->weight);
+    if (ticket < 0) return e.id;
+  }
+  return jobs.back().id;  // unreachable
+}
+
+gpusim::JobId ReservationPolicy::NextJob(std::vector<JobEntry>& jobs,
+                                         gpusim::JobId current) {
+  if (jobs.empty()) return gpusim::kNoJob;
+  ++total_granted_;
+  // Largest reservation deficit first.
+  JobEntry* best = nullptr;
+  double best_deficit = 0.0;
+  for (JobEntry& e : jobs) {
+    const double deficit = e.ctx->min_share * static_cast<double>(total_granted_) -
+                           static_cast<double>(e.served_quanta);
+    if (deficit > best_deficit + 1e-12) {
+      best_deficit = deficit;
+      best = &e;
+    }
+  }
+  if (best == nullptr) {
+    // All reservations met: round-robin the surplus with an own cursor
+    // (reservation grants would otherwise reset the rotation position).
+    (void)current;
+    best = &jobs[static_cast<std::size_t>(rr_cursor_++) % jobs.size()];
+  }
+  ++best->served_quanta;
+  return best->id;
+}
+
+std::unique_ptr<SchedulingPolicy> MakePolicy(const std::string& name) {
+  if (name == "fair") return std::make_unique<FairPolicy>();
+  if (name == "weighted-fair") return std::make_unique<WeightedFairPolicy>();
+  if (name == "priority") return std::make_unique<PriorityPolicy>();
+  if (name == "lottery") return std::make_unique<LotteryPolicy>();
+  if (name == "reservation") return std::make_unique<ReservationPolicy>();
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+}  // namespace olympian::core

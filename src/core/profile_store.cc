@@ -1,0 +1,87 @@
+#include "core/profile_store.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "models/model_zoo.h"
+
+namespace olympian::core {
+
+namespace {
+
+constexpr const char* kMagic = "olympian-profile";
+constexpr const char* kVersion = "v1";
+
+std::string ExpectKey(std::istream& is, const std::string& key) {
+  std::string k, v;
+  if (!(is >> k >> v) || k != key) {
+    throw std::invalid_argument("profile parse error: expected '" + key +
+                                "', got '" + k + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void ProfileStore::Write(const ModelProfile& profile, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "model " << profile.model << '\n';
+  os << "batch " << profile.batch << '\n';
+  os << "gpu_duration_ns " << profile.cost.gpu_duration.nanos() << '\n';
+  os << "solo_runtime_ns " << profile.cost.solo_runtime.nanos() << '\n';
+  os << "nodes " << profile.cost.size() << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (double c : profile.cost.costs()) os << c << '\n';
+}
+
+ModelProfile ProfileStore::Read(std::istream& is) {
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    throw std::invalid_argument("not an olympian profile");
+  }
+  if (version != kVersion) {
+    throw std::invalid_argument("unsupported profile version " + version);
+  }
+  ModelProfile p;
+  p.model = ExpectKey(is, "model");
+  p.batch = std::stoi(ExpectKey(is, "batch"));
+  p.key = models::ModelKey(p.model, p.batch);
+  p.cost.gpu_duration =
+      sim::Duration::Nanos(std::stoll(ExpectKey(is, "gpu_duration_ns")));
+  p.cost.solo_runtime =
+      sim::Duration::Nanos(std::stoll(ExpectKey(is, "solo_runtime_ns")));
+  const std::size_t n = std::stoul(ExpectKey(is, "nodes"));
+  p.cost.Resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double c;
+    if (!(is >> c)) {
+      throw std::invalid_argument("profile truncated at node " +
+                                  std::to_string(i));
+    }
+    if (c < 0) {
+      throw std::invalid_argument("negative node cost at node " +
+                                  std::to_string(i));
+    }
+    p.cost.RecordNodeCost(static_cast<graph::NodeId>(i), c);
+  }
+  return p;
+}
+
+void ProfileStore::Save(const ModelProfile& profile, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  Write(profile, os);
+  if (!os) throw std::runtime_error("write to " + path + " failed");
+}
+
+ModelProfile ProfileStore::Load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return Read(is);
+}
+
+}  // namespace olympian::core

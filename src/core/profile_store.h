@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/profiler.h"
+
+namespace olympian::core {
+
+// Persistence for offline profiles (paper Figure 7: the profiler writes
+// model profiles once; the serving path only reads them).
+//
+// The format is a self-describing text format, one profile per file:
+//
+//   olympian-profile v1
+//   model <name>
+//   batch <n>
+//   gpu_duration_ns <n>
+//   solo_runtime_ns <n>
+//   nodes <count>
+//   <cost_ns_node_0>
+//   ...
+//
+// Costs are written with full double precision; loading a stored profile
+// reproduces thresholds bit-for-bit.
+class ProfileStore {
+ public:
+  // Serialize to/from streams (unit-testable without touching disk).
+  static void Write(const ModelProfile& profile, std::ostream& os);
+  static ModelProfile Read(std::istream& is);
+
+  // File convenience wrappers. Throws std::runtime_error on I/O failure and
+  // std::invalid_argument on malformed content.
+  static void Save(const ModelProfile& profile, const std::string& path);
+  static ModelProfile Load(const std::string& path);
+};
+
+}  // namespace olympian::core

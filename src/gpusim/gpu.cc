@@ -1,0 +1,295 @@
+#include "gpusim/gpu.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace olympian::gpusim {
+
+Gpu::Gpu(sim::Environment& env, Options options)
+    : env_(env),
+      options_(std::move(options)),
+      rng_(options_.seed),
+      free_slots_(options_.spec.total_block_slots()) {
+  if (options_.spec.total_block_slots() <= 0) {
+    throw std::invalid_argument("GpuSpec must expose at least one block slot");
+  }
+  if (options_.mean_burst < 1.0) {
+    throw std::invalid_argument("mean_burst must be >= 1");
+  }
+  if (options_.clock_noise_sigma > 0.0) {
+    options_.spec.clock_scale *=
+        std::max(0.5, rng_.Normal(1.0, options_.clock_noise_sigma));
+  }
+}
+
+Gpu::~Gpu() = default;
+
+StreamId Gpu::CreateStream() {
+  streams_.push_back(std::make_unique<Stream>());
+  Stream& s = *streams_.back();
+  s.id = static_cast<StreamId>(streams_.size()) - 1;
+  s.arb_weight = options_.arbitration_bias_sigma > 0
+                     ? rng_.LogNormal(0.0, options_.arbitration_bias_sigma)
+                     : 1.0;
+  return s.id;
+}
+
+void Gpu::Enqueue(StreamId stream, const KernelDesc& desc,
+                  std::coroutine_handle<> waiter) {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw std::out_of_range("Submit to unknown stream");
+  }
+  if (desc.thread_blocks < 1) {
+    throw std::invalid_argument("kernel needs >= 1 thread block");
+  }
+  if (desc.block_work < sim::Duration::Zero()) {
+    throw std::invalid_argument("kernel block work must be non-negative");
+  }
+  auto k = std::make_unique<Kernel>();
+  k->desc = desc;
+  k->blocks_left = desc.thread_blocks;
+  k->exclusive = desc.thread_blocks >= options_.spec.total_block_slots();
+  k->waiter = waiter;
+  Stream& s = *streams_[stream];
+  s.queue.push_back(std::move(k));
+  if (StreamReady(s)) MarkReady(stream);
+  Dispatch();
+}
+
+bool Gpu::StreamReady(const Stream& s) const {
+  if (s.active) return s.active->blocks_left > 0;
+  return !s.queue.empty();
+}
+
+void Gpu::MarkReady(StreamId id) {
+  Stream& s = *streams_[id];
+  if (s.in_ready_list) return;
+  s.in_ready_list = true;
+  ready_.push_back(id);
+}
+
+void Gpu::Dispatch() {
+  if (dispatching_) return;  // re-entrancy guard (Enqueue during callbacks)
+  dispatching_ = true;
+  while (free_slots_ > 0) {
+    Stream* cur =
+        current_ >= 0 ? streams_[static_cast<std::size_t>(current_)].get()
+                      : nullptr;
+    // Finish issuing the in-flight kernel of the current stream first.
+    if (cur != nullptr && cur->active && cur->active->blocks_left > 0) {
+      // fallthrough to wave issue below
+    } else {
+      // Need to start (or switch to) a kernel.
+      const bool current_usable =
+          cur != nullptr && burst_left_ > 0 && StreamReady(*cur);
+      if (!current_usable) {
+        if (cur != nullptr && StreamReady(*cur)) MarkReady(current_);
+        current_ = -1;
+        // Job-blind arbitration: pick a ready stream at random, weighted by
+        // its persistent channel bias. Drop stale entries as we go.
+        while (!ready_.empty()) {
+          double total_w = 0.0;
+          for (std::size_t i = 0; i < ready_.size();) {
+            Stream& s = *streams_[static_cast<std::size_t>(ready_[i])];
+            if (!StreamReady(s)) {
+              s.in_ready_list = false;
+              ready_[i] = ready_.back();
+              ready_.pop_back();
+              continue;
+            }
+            total_w += s.arb_weight;
+            ++i;
+          }
+          if (ready_.empty()) break;
+          double pick = rng_.NextDouble() * total_w;
+          std::size_t idx = 0;
+          for (; idx + 1 < ready_.size(); ++idx) {
+            pick -= streams_[static_cast<std::size_t>(ready_[idx])]->arb_weight;
+            if (pick <= 0) break;
+          }
+          const StreamId id = ready_[idx];
+          ready_[idx] = ready_.back();
+          ready_.pop_back();
+          streams_[static_cast<std::size_t>(id)]->in_ready_list = false;
+          current_ = id;
+          break;
+        }
+        if (current_ < 0) break;  // nothing issuable anywhere
+        // Geometric-ish burst length: how many kernels this stream may start
+        // before the driver re-arbitrates.
+        const double u = rng_.NextDouble();
+        burst_left_ = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(
+                   std::llround(-std::log(1.0 - u) * options_.mean_burst)));
+        cur = streams_[static_cast<std::size_t>(current_)].get();
+      }
+      if (!cur->active) {
+        if (cur->queue.empty()) {
+          current_ = -1;
+          continue;
+        }
+        cur->active = std::move(cur->queue.front());
+        cur->queue.pop_front();
+        --burst_left_;
+      } else if (cur->active->blocks_left == 0) {
+        // Active kernel fully issued but still draining; in-stream FIFO means
+        // this stream cannot start another kernel yet.
+        current_ = -1;
+        continue;
+      }
+    }
+
+    // Issue one wave of the current stream's active kernel.
+    Stream& s = *streams_[static_cast<std::size_t>(current_)];
+    Kernel* k = s.active.get();
+    if (k->exclusive) {
+      // A saturating kernel needs the whole device; head-of-line wait until
+      // in-flight waves drain, then run all its waves as one occupancy.
+      if (occupied_slots_ > 0) break;  // re-dispatched on wave completion
+      const std::int64_t total = options_.spec.total_block_slots();
+      const std::int64_t n_ex = k->blocks_left;
+      const std::int64_t waves = (n_ex + total - 1) / total;
+      k->blocks_left = 0;
+      k->in_flight = n_ex;
+      free_slots_ = 0;
+      NoteOccupancyChange(total);
+      const sim::TimePoint now = env_.Now();
+      JobMeter(k->desc.job).OnBegin(now);
+      busy_.OnBegin(now);
+      ++waves_dispatched_;
+      std::uint64_t slot;
+      if (!free_wave_slots_.empty()) {
+        slot = free_wave_slots_.back();
+        free_wave_slots_.pop_back();
+      } else {
+        slot = waves_.size();
+        waves_.push_back(Wave{});
+      }
+      waves_[slot] = Wave{k, &s, n_ex, total};
+      const sim::Duration d = k->desc.block_work *
+                              (static_cast<double>(waves) /
+                               options_.spec.clock_scale);
+      env_.ScheduleCallbackAt(now + d, &Gpu::WaveTrampoline, this, slot);
+      continue;
+    }
+    const std::int64_t n = std::min(k->blocks_left, free_slots_);
+    k->blocks_left -= n;
+    k->in_flight += n;
+    free_slots_ -= n;
+    NoteOccupancyChange(n);
+    const sim::TimePoint now = env_.Now();
+    JobMeter(k->desc.job).OnBegin(now);
+    busy_.OnBegin(now);
+    ++waves_dispatched_;
+
+    std::uint64_t slot;
+    if (!free_wave_slots_.empty()) {
+      slot = free_wave_slots_.back();
+      free_wave_slots_.pop_back();
+    } else {
+      slot = waves_.size();
+      waves_.push_back(Wave{});
+    }
+    waves_[slot] = Wave{k, &s, n, n};
+    const sim::Duration d = k->desc.block_work * (1.0 / options_.spec.clock_scale);
+    env_.ScheduleCallbackAt(now + d, &Gpu::WaveTrampoline, this, slot);
+  }
+  dispatching_ = false;
+}
+
+void Gpu::WaveTrampoline(void* ctx, std::uint64_t arg) {
+  static_cast<Gpu*>(ctx)->OnWaveDone(arg);
+}
+
+void Gpu::OnWaveDone(std::uint64_t wave_slot) {
+  const Wave w = waves_[wave_slot];
+  free_wave_slots_.push_back(wave_slot);
+  Kernel* k = w.kernel;
+  k->in_flight -= w.blocks;
+  free_slots_ += w.slots_held;
+  NoteOccupancyChange(-w.slots_held);
+  const sim::TimePoint now = env_.Now();
+  JobMeter(k->desc.job).OnEnd(now);
+  busy_.OnEnd(now);
+
+  if (k->blocks_left == 0 && k->in_flight == 0) {
+    // Kernel retired: wake the submitting CPU thread, unblock the stream.
+    ++kernels_completed_;
+    const std::coroutine_handle<> waiter = k->waiter;
+    Stream* s = w.stream;
+    s->active.reset();  // destroys k
+    if (!s->queue.empty()) MarkReady(s->id);
+    if (waiter) env_.ScheduleNow(waiter);
+  }
+  Dispatch();
+}
+
+void Gpu::NoteOccupancyChange(std::int64_t delta) {
+  const sim::TimePoint now = env_.Now();
+  occupancy_integral_ += static_cast<double>(occupied_slots_) *
+                         static_cast<double>((now - occupancy_last_).nanos());
+  occupied_slots_ += delta;
+  occupancy_last_ = now;
+}
+
+metrics::BusyMeter& Gpu::JobMeter(JobId job) {
+  return job_meters_[job];
+}
+
+sim::Duration Gpu::JobGpuDuration(JobId job) const {
+  const auto it = job_meters_.find(job);
+  if (it == job_meters_.end()) return sim::Duration::Zero();
+  return it->second.Total(env_.Now());
+}
+
+sim::Duration Gpu::TotalBusy() const { return busy_.Total(env_.Now()); }
+
+double Gpu::MeanSlotOccupancy() const {
+  const sim::TimePoint now = env_.Now();
+  const double integral =
+      occupancy_integral_ + static_cast<double>(occupied_slots_) *
+                                static_cast<double>((now - occupancy_last_).nanos());
+  const double denom = static_cast<double>(options_.spec.total_block_slots()) *
+                       static_cast<double>(now.nanos());
+  return denom <= 0 ? 0.0 : integral / denom;
+}
+
+double Gpu::EnergyJoules() const {
+  const sim::TimePoint now = env_.Now();
+  const double elapsed_s = (now - sim::TimePoint()).seconds();
+  const double busy_s = TotalBusy().seconds();
+  const double occ_slot_s =
+      MeanSlotOccupancy() * elapsed_s;  // occupancy-weighted seconds
+  return options_.spec.idle_watts * elapsed_s +
+         options_.spec.busy_extra_watts * busy_s +
+         options_.spec.occupancy_watts * occ_slot_s;
+}
+
+double Gpu::MeanPowerWatts() const {
+  const double elapsed_s = (env_.Now() - sim::TimePoint()).seconds();
+  return elapsed_s <= 0 ? options_.spec.idle_watts
+                        : EnergyJoules() / elapsed_s;
+}
+
+void Gpu::AllocateMemory(JobId job, std::int64_t mb) {
+  if (memory_used_mb_ + mb > options_.spec.memory_mb) {
+    throw OutOfDeviceMemory("GPU out of memory: job " + std::to_string(job) +
+                            " requested " + std::to_string(mb) + " MB, " +
+                            std::to_string(options_.spec.memory_mb -
+                                           memory_used_mb_) +
+                            " MB free on " + options_.spec.name);
+  }
+  memory_used_mb_ += mb;
+}
+
+void Gpu::ReleaseMemory(JobId job, std::int64_t mb) {
+  (void)job;
+  memory_used_mb_ -= mb;
+  if (memory_used_mb_ < 0) {
+    throw std::logic_error("GPU memory release underflow");
+  }
+}
+
+}  // namespace olympian::gpusim

@@ -1,0 +1,181 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/gpu_spec.h"
+#include "gpusim/kernel.h"
+#include "metrics/busy_meter.h"
+#include "sim/environment.h"
+#include "sim/random.h"
+
+namespace olympian::gpusim {
+
+// Thrown when a memory reservation exceeds device capacity (§4.3 scaling).
+struct OutOfDeviceMemory : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// A simulated GPU plus its driver.
+//
+// Submission: CPU-side code (the dataflow executor) calls `Submit` on a
+// stream and `co_await`s the returned awaitable; the awaiting coroutine is
+// resumed when the kernel's last block retires — exactly how a TF GPU node's
+// managing thread blocks on kernel completion in the real stack.
+//
+// Driver model: streams are serviced by *burst arbitration*. The driver
+// drains a geometrically-distributed burst of kernels from one ready stream
+// before re-arbitrating uniformly at random among ready streams. It is
+// job-blind: nothing in the issue path looks at KernelDesc::job. Bursty,
+// arbitrary channel arbitration is what makes concurrent TF-Serving jobs
+// finish at unpredictable times (paper Figure 3); the burst length knob is
+// calibrated in models/calibration.h.
+//
+// Accounting: per-job busy meters implement the paper's "GPU duration" (the
+// union of intervals during which >= 1 kernel of the job is resident,
+// Figure 5), and a global meter provides nvidia-smi-style utilization.
+class Gpu {
+ public:
+  struct Options {
+    GpuSpec spec = GpuSpec::Gtx1080Ti();
+    // Mean kernels issued from one stream before re-arbitration.
+    double mean_burst = 4.0;
+    // Sigma of the per-stream log-normal arbitration weight, modelling the
+    // persistent service bias of hardware channel assignment. This is what
+    // makes identical concurrent jobs finish at different times under the
+    // job-blind driver (paper Figure 3); 0 disables the bias.
+    double arbitration_bias_sigma = 0.35;
+    // Run-level clock noise (boost clocks, thermal state): the effective
+    // clock is drawn once per device instance. Gives profiled totals their
+    // few-percent run-to-run spread (paper §4.4).
+    double clock_noise_sigma = 0.015;
+    std::uint64_t seed = 1;
+  };
+
+  Gpu(sim::Environment& env, Options options);
+  ~Gpu();
+
+  Gpu(const Gpu&) = delete;
+  Gpu& operator=(const Gpu&) = delete;
+
+  // --- streams ---------------------------------------------------------
+
+  StreamId CreateStream();
+
+  // Awaitable kernel submission: suspends the caller until completion.
+  auto Submit(StreamId stream, KernelDesc desc) {
+    struct Awaiter {
+      Gpu* gpu;
+      StreamId stream;
+      KernelDesc desc;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gpu->Enqueue(stream, desc, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, stream, desc};
+  }
+
+  // --- memory accounting ----------------------------------------------
+
+  // Reserve device memory; throws OutOfDeviceMemory when the device is full.
+  void AllocateMemory(JobId job, std::int64_t mb);
+  void ReleaseMemory(JobId job, std::int64_t mb);
+  std::int64_t memory_used_mb() const { return memory_used_mb_; }
+
+  // --- accounting / introspection --------------------------------------
+
+  const GpuSpec& spec() const { return options_.spec; }
+
+  // Total "GPU duration" accumulated by `job` up to now (Figure 5).
+  sim::Duration JobGpuDuration(JobId job) const;
+
+  // Time during which >= 1 kernel was resident (nvidia-smi utilization
+  // numerator).
+  sim::Duration TotalBusy() const;
+
+  // Integral of (occupied slots / total slots) dt — a finer utilization.
+  double MeanSlotOccupancy() const;
+
+  // Energy consumed so far under the GpuSpec power model, in joules
+  // (extension: the paper lists power as future work).
+  double EnergyJoules() const;
+  // Mean board power over the elapsed simulation, in watts.
+  double MeanPowerWatts() const;
+
+  std::uint64_t kernels_completed() const { return kernels_completed_; }
+  std::uint64_t waves_dispatched() const { return waves_dispatched_; }
+  std::int64_t free_slots() const { return free_slots_; }
+  bool idle() const { return busy_.depth() == 0; }
+
+ private:
+  struct Kernel {
+    KernelDesc desc;
+    std::int64_t blocks_left;  // not yet issued
+    std::int64_t in_flight = 0;
+    // Kernels with thread_blocks >= total slots saturate the device: they
+    // execute exclusively, as one multi-wave occupancy of the whole GPU.
+    // This is the paper's §2.3 regime — no spatial multiplexing across
+    // requests at production batch sizes.
+    bool exclusive = false;
+    std::coroutine_handle<> waiter;
+  };
+
+  struct Stream {
+    StreamId id = -1;
+    std::deque<std::unique_ptr<Kernel>> queue;
+    std::unique_ptr<Kernel> active;  // at most one kernel executing per stream
+    bool in_ready_list = false;
+    // Persistent arbitration weight (channel-assignment luck).
+    double arb_weight = 1.0;
+  };
+
+  struct Wave {
+    Kernel* kernel;
+    Stream* stream;
+    std::int64_t blocks;      // kernel blocks retired when this wave ends
+    std::int64_t slots_held;  // device slots occupied while it runs
+  };
+
+  void Enqueue(StreamId stream, const KernelDesc& desc,
+               std::coroutine_handle<> waiter);
+  void Dispatch();
+  bool StreamReady(const Stream& s) const;
+  void MarkReady(StreamId id);
+  void OnWaveDone(std::uint64_t wave_slot);
+  static void WaveTrampoline(void* ctx, std::uint64_t arg);
+  void NoteOccupancyChange(std::int64_t delta);
+  metrics::BusyMeter& JobMeter(JobId job);
+
+  sim::Environment& env_;
+  Options options_;
+  sim::Rng rng_;
+
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<StreamId> ready_;  // streams with issuable work
+  StreamId current_ = -1;        // stream owning the current burst
+  std::int64_t burst_left_ = 0;
+
+  std::int64_t free_slots_;
+  std::vector<Wave> waves_;            // slot-indexed, reused
+  std::vector<std::uint64_t> free_wave_slots_;
+
+  std::unordered_map<JobId, metrics::BusyMeter> job_meters_;
+  std::unordered_map<JobId, sim::Duration> job_retired_;  // finished jobs
+  metrics::BusyMeter busy_;
+  double occupancy_integral_ = 0.0;  // slot-seconds
+  std::int64_t occupied_slots_ = 0;
+  sim::TimePoint occupancy_last_;
+
+  std::int64_t memory_used_mb_ = 0;
+  std::uint64_t kernels_completed_ = 0;
+  std::uint64_t waves_dispatched_ = 0;
+  bool dispatching_ = false;
+};
+
+}  // namespace olympian::gpusim

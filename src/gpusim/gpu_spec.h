@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace olympian::gpusim {
+
+// Static description of a simulated GPU.
+//
+// The execution model is deliberately coarse: the device exposes
+// `num_sms * max_blocks_per_sm` concurrent thread-block slots; a kernel's
+// blocks are placed onto free slots in waves, each wave taking the kernel's
+// per-block work time (scaled by `clock_scale`). This captures the two
+// behaviours the paper depends on — large-batch kernels saturate the device
+// (no spatial multiplexing across requests, §2.3) while small kernels can
+// overlap — without simulating warps or memory hierarchies.
+struct GpuSpec {
+  std::string name;
+  int num_sms = 28;
+  int max_blocks_per_sm = 8;
+  // Relative compute speed; block work durations are divided by this.
+  double clock_scale = 1.0;
+  // Device memory, for capacity/scalability accounting (§4.3).
+  std::int64_t memory_mb = 11264;
+
+  // Power model (the paper lists power as future work): board power while
+  // kernels are resident vs idle, plus a component proportional to slot
+  // occupancy. Energy = idle_watts*T + busy_extra_watts*T_busy
+  //                     + occupancy_watts * integral(occupied/total dt).
+  double idle_watts = 55.0;
+  double busy_extra_watts = 90.0;
+  double occupancy_watts = 105.0;
+
+  std::int64_t total_block_slots() const {
+    return static_cast<std::int64_t>(num_sms) * max_blocks_per_sm;
+  }
+
+  // The paper's primary testbed: GeForce GTX 1080 Ti (28 SMs, 11 GB).
+  static GpuSpec Gtx1080Ti() {
+    return GpuSpec{.name = "GTX-1080Ti",
+                   .num_sms = 28,
+                   .max_blocks_per_sm = 8,
+                   .clock_scale = 1.0,
+                   .memory_mb = 11264};
+  }
+
+  // The paper's portability testbed (Figure 21): NVIDIA Titan X (Pascal),
+  // same SM count, slightly lower sustained clock, 12 GB.
+  static GpuSpec TitanXPascal() {
+    return GpuSpec{.name = "TitanX-Pascal",
+                   .num_sms = 28,
+                   .max_blocks_per_sm = 8,
+                   .clock_scale = 0.82,
+                   .memory_mb = 12288};
+  }
+};
+
+}  // namespace olympian::gpusim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace olympian::gpusim {
+
+// Identifies the serving-system job (one client request stream) a kernel
+// belongs to. The *driver never uses this for scheduling* — mirroring the
+// paper's core problem statement — it exists purely for usage accounting
+// (per-job GPU duration, Figure 5) and post-hoc analysis.
+using JobId = std::int64_t;
+inline constexpr JobId kNoJob = -1;
+
+// A driver-visible submission queue. Kernels within one stream execute in
+// FIFO order, one at a time; kernels in different streams may overlap.
+using StreamId = std::int64_t;
+
+// An elemental data-parallel GPU computation, as launched by one dataflow
+// node. `thread_blocks` blocks each run for `block_work` (at clock_scale 1);
+// the device executes them in waves bounded by free block slots.
+struct KernelDesc {
+  JobId job = kNoJob;
+  std::int64_t node_id = -1;
+  std::int64_t thread_blocks = 1;
+  sim::Duration block_work;
+};
+
+}  // namespace olympian::gpusim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/time.h"
+
+namespace olympian::graph {
+
+// Per-node measured execution costs for one (model, batch size) pair — the
+// equivalent of Tensorflow's cost-model API output that Olympian's profiler
+// consumes (paper §3.2).
+//
+// Costs are in nanoseconds of observed node execution time. The two summary
+// quantities the paper's math uses are:
+//   C_j = TotalCost()   — sum of all node costs, and
+//   D_j = gpu_duration  — the job's GPU duration (union of busy intervals)
+// giving the cost-accumulation rate C_j / D_j and quantum threshold
+// T_j = Q * C_j / D_j.
+class CostProfile {
+ public:
+  CostProfile() = default;
+  explicit CostProfile(std::size_t num_nodes) : costs_(num_nodes, 0.0) {}
+
+  void Resize(std::size_t num_nodes) { costs_.assign(num_nodes, 0.0); }
+
+  void RecordNodeCost(NodeId node, double cost_ns) {
+    costs_[static_cast<std::size_t>(node)] = cost_ns;
+  }
+
+  double NodeCost(NodeId node) const {
+    return costs_[static_cast<std::size_t>(node)];
+  }
+
+  std::size_t size() const { return costs_.size(); }
+
+  // C_j: the sum of all node costs.
+  double TotalCost() const {
+    double s = 0;
+    for (double c : costs_) s += c;
+    return s;
+  }
+
+  const std::vector<double>& costs() const { return costs_; }
+  std::vector<double>& mutable_costs() { return costs_; }
+
+  // D_j: measured GPU duration of one solo run (Figure 5).
+  sim::Duration gpu_duration;
+
+  // Wall-clock of the solo profiling run (for reporting).
+  sim::Duration solo_runtime;
+
+  // Cost-accumulation rate C_j / D_j (paper §3.2). Cost units per
+  // nanosecond of GPU duration.
+  double CostAccumulationRate() const {
+    const double d = static_cast<double>(gpu_duration.nanos());
+    return d <= 0 ? 0.0 : TotalCost() / d;
+  }
+
+ private:
+  std::vector<double> costs_;
+};
+
+}  // namespace olympian::graph

@@ -1,0 +1,131 @@
+#include "graph/executor.h"
+
+#include <stdexcept>
+
+namespace olympian::graph {
+
+Executor::Executor(sim::Environment& env, gpusim::Gpu& gpu, ThreadPool& pool,
+                   ExecutorOptions options, std::uint64_t seed,
+                   SchedulingHooks* hooks)
+    : env_(env),
+      gpu_(gpu),
+      pool_(pool),
+      options_(options),
+      rng_(seed),
+      hooks_(hooks) {}
+
+Executor::RunState::RunState(sim::Environment& env, const Graph& g,
+                             CostProfile* prof)
+    : graph(&g), profile(prof), remaining(g.size()), all_done(env) {
+  pending.reserve(g.size());
+  for (const Node& n : g.nodes()) {
+    pending.push_back(static_cast<std::int32_t>(n.inputs.size()));
+  }
+  if (profile != nullptr && profile->size() != g.size()) {
+    profile->Resize(g.size());
+  }
+}
+
+sim::Task Executor::RunOnce(JobContext& ctx, const Graph& graph,
+                            CostProfile* profile) {
+  // Validate eagerly: this function is not a coroutine, so violations throw
+  // at the call site rather than being deferred into the task.
+  if (ctx.streams.empty()) {
+    throw std::invalid_argument("JobContext has no GPU streams");
+  }
+  if (ctx.batch < 1) throw std::invalid_argument("batch must be >= 1");
+  return RunOnceImpl(ctx, graph, profile);
+}
+
+sim::Task Executor::RunOnceImpl(JobContext& ctx, const Graph& graph,
+                                CostProfile* profile) {
+  RunState st(env_, graph, profile);
+  // Algorithm 2, lines 4-5: register and reset the gang-shared cost.
+  ctx.cumulated_cost = 0.0;
+  if (hooks_ != nullptr) hooks_->RegisterRun(ctx);
+  co_await Process(ctx, st, graph.root());
+  // The root traversal has returned, but asynchronous subtrees may still be
+  // executing on pool threads; Session::Run returns only when the whole
+  // graph has been evaluated.
+  while (st.remaining > 0) co_await st.all_done.Wait();
+  if (hooks_ != nullptr) hooks_->DeregisterRun(ctx);
+  ++runs_completed_;
+}
+
+sim::Task Executor::Process(JobContext& ctx, RunState& st, NodeId start) {
+  std::deque<NodeId> bfs_queue;
+  bfs_queue.push_back(start);
+  while (!bfs_queue.empty()) {
+    const NodeId nid = bfs_queue.front();
+    bfs_queue.pop_front();
+    const Node& node = st.graph->node(nid);
+
+    // Algorithm 2, line 12: cooperative yield point. With no hooks this is
+    // stock TF-Serving (Algorithm 1).
+    if (hooks_ != nullptr && hooks_->NeedsYield(ctx)) {
+      co_await hooks_->Yield(ctx);
+    }
+
+    co_await Compute(ctx, st, node);
+
+    // Algorithm 2, lines 14-18: cost accrual / token rotation.
+    if (hooks_ != nullptr) hooks_->OnNodeComputed(ctx, node);
+
+    ++nodes_executed_;
+    --st.remaining;
+    if (st.remaining == 0) st.all_done.NotifyAll();
+
+    for (const NodeId child : node.outputs) {
+      if (--st.pending[static_cast<std::size_t>(child)] == 0) {
+        if (!st.graph->node(child).is_gpu()) {
+          bfs_queue.push_back(child);  // synchronous: continue on this thread
+        } else {
+          // Asynchronous: fetch a pool thread to continue from this node
+          // (Algorithm 1, lines 13-15). &ctx and &st outlive the item: the
+          // enclosing RunOnce returns only after every node has executed.
+          pool_.Schedule(
+              [this, &ctx, &st, child]() { return Process(ctx, st, child); });
+        }
+      }
+    }
+  }
+}
+
+sim::Task Executor::Compute(JobContext& ctx, RunState& st, const Node& node) {
+  const sim::TimePoint t0 = env_.Now();
+  sim::Duration cpu =
+      node.cpu_time + node.cpu_time_per_item * static_cast<double>(ctx.batch);
+  if (options_.online_cost_profiler) {
+    cpu += options_.profiler_overhead_per_node;
+  }
+  if (options_.cpu_jitter > 0.0) cpu = rng_.Jitter(cpu, options_.cpu_jitter);
+  if (cpu > sim::Duration::Zero()) co_await env_.Delay(cpu);
+
+  if (node.is_gpu()) {
+    const auto stream = ctx.streams[ctx.next_stream % ctx.streams.size()];
+    ++ctx.next_stream;
+    sim::Duration work = node.block_work;
+    if (options_.online_cost_profiler) {
+      work = work * options_.profiler_kernel_slowdown;
+    }
+    if (options_.gpu_jitter > 0.0) work = rng_.Jitter(work, options_.gpu_jitter);
+    co_await gpu_.Submit(stream,
+                         gpusim::KernelDesc{
+                             .job = ctx.job,
+                             .node_id = node.id,
+                             .thread_blocks = node.BlocksFor(ctx.batch),
+                             .block_work = work,
+                         });
+  }
+
+  if (st.profile != nullptr) {
+    st.profile->RecordNodeCost(
+        node.id, static_cast<double>((env_.Now() - t0).nanos()));
+  }
+  if (options_.tracer != nullptr && !options_.tracer->full()) {
+    options_.tracer->AddSpan(node.is_gpu() ? "gpu-node" : "cpu-node",
+                             node.name, ctx.job, t0, env_.Now());
+  }
+}
+
+}  // namespace olympian::graph

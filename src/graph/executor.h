@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "gpusim/gpu.h"
+#include "graph/cost_model.h"
+#include "graph/graph.h"
+#include "graph/hooks.h"
+#include "graph/thread_pool.h"
+#include "metrics/trace.h"
+#include "sim/environment.h"
+#include "sim/random.h"
+#include "sim/sync.h"
+
+namespace olympian::graph {
+
+struct ExecutorOptions {
+  // Multiplicative jitter on per-node CPU time. This models OS-thread and
+  // cache noise; it is the seed-controlled source of submission-order
+  // variance that makes stock TF-Serving's finish times unpredictable
+  // (paper Figure 3).
+  double cpu_jitter = 0.15;
+
+  // Multiplicative jitter on kernel execution time (clock/thermal noise).
+  // Gives profiled costs and GPU durations their few-percent run-to-run
+  // spread (paper §4.4 measures ~1.7-2.5% CVs).
+  double gpu_jitter = 0.025;
+
+  // When true, models Tensorflow's online cost profiler (CUPTI hooks): a
+  // fixed CPU cost per node plus a slowdown on instrumented kernels,
+  // inflating end-to-end runtimes by 21-29% (paper Figure 6) — the reason
+  // Olympian profiles offline.
+  bool online_cost_profiler = false;
+  sim::Duration profiler_overhead_per_node = sim::Duration::Micros(4);
+  double profiler_kernel_slowdown = 1.22;
+
+  // Optional execution tracing: every node records a span on its job's
+  // track (see metrics/trace.h). Must outlive the executor.
+  metrics::Tracer* tracer = nullptr;
+};
+
+// The dataflow-graph executor — the paper's Algorithm 1 (and, with a
+// non-null SchedulingHooks, Algorithm 2).
+//
+// `RunOnce` executes one inference: a breadth-first traversal from the root
+// in which synchronous (CPU) nodes run inline on the calling thread's local
+// queue while each asynchronous (GPU) node is handed to a thread-pool
+// worker that continues the traversal from that node. The set of simulated
+// threads working for one job is the paper's "gang".
+class Executor {
+ public:
+  Executor(sim::Environment& env, gpusim::Gpu& gpu, ThreadPool& pool,
+           ExecutorOptions options, std::uint64_t seed,
+           SchedulingHooks* hooks = nullptr);
+
+  // Execute one inference run of `graph` at `ctx.batch`. Completes when
+  // every node has executed. If `profile` is non-null, per-node costs
+  // (observed execution times, ns) are recorded into it. Validates `ctx`
+  // eagerly (throws std::invalid_argument before any execution).
+  sim::Task RunOnce(JobContext& ctx, const Graph& graph,
+                    CostProfile* profile = nullptr);
+
+  sim::Environment& env() { return env_; }
+  gpusim::Gpu& gpu() { return gpu_; }
+  ThreadPool& pool() { return pool_; }
+  SchedulingHooks* hooks() { return hooks_; }
+  const ExecutorOptions& options() const { return options_; }
+
+  std::uint64_t runs_completed() const { return runs_completed_; }
+  std::uint64_t nodes_executed() const { return nodes_executed_; }
+
+ private:
+  struct RunState {
+    explicit RunState(sim::Environment& env, const Graph& g,
+                      CostProfile* prof);
+    const Graph* graph;
+    CostProfile* profile;
+    std::vector<std::int32_t> pending;
+    std::size_t remaining;
+    sim::CondVar all_done;
+  };
+
+  sim::Task RunOnceImpl(JobContext& ctx, const Graph& graph,
+                        CostProfile* profile);
+  sim::Task Process(JobContext& ctx, RunState& st, NodeId start);
+  sim::Task Compute(JobContext& ctx, RunState& st, const Node& node);
+
+  sim::Environment& env_;
+  gpusim::Gpu& gpu_;
+  ThreadPool& pool_;
+  ExecutorOptions options_;
+  sim::Rng rng_;
+  SchedulingHooks* hooks_;
+  std::uint64_t runs_completed_ = 0;
+  std::uint64_t nodes_executed_ = 0;
+};
+
+}  // namespace olympian::graph

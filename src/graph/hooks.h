@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel.h"
+#include "graph/graph.h"
+#include "sim/task.h"
+
+namespace olympian::graph {
+
+// Everything the executor and scheduler need to know about one job — the
+// equivalent of the paper's `SessRunInfo`. One JobContext is created per
+// client and reused across that client's sequential batch runs.
+struct JobContext {
+  gpusim::JobId job = 0;
+  std::string client_name;
+  // Profile lookup key, e.g. "inception-v4@100" (model + batch size).
+  std::string model_key;
+  int batch = 1;
+  // Policy inputs (paper §3.4): weighted fair sharing and priority, plus a
+  // guaranteed minimum GPU share in [0,1) for the reservation policy
+  // (extension).
+  int weight = 1;
+  int priority = 0;
+  double min_share = 0.0;
+  // Algorithm 2's `cumulatedCost`, shared by the job's whole thread gang.
+  double cumulated_cost = 0.0;
+  // GPU streams assigned to this job, used round-robin across its nodes.
+  std::vector<gpusim::StreamId> streams;
+  std::size_t next_stream = 0;
+};
+
+// The Olympian patch point inside the TF session loop.
+//
+// Stock TF-Serving is an executor with no hooks (nullptr). Olympian's
+// scheduler (core/scheduler.h) implements this interface to realize
+// Algorithm 2: registration, the cooperative yield before every node
+// compute, and cost accrual with quantum rotation after every node.
+class SchedulingHooks {
+ public:
+  virtual ~SchedulingHooks() = default;
+
+  // Algorithm 2, line 4 / line 7 (per Session::Run, i.e. per batch run).
+  virtual void RegisterRun(JobContext& ctx) = 0;
+  virtual void DeregisterRun(JobContext& ctx) = 0;
+
+  // Fast-path check: does the calling thread need to pass through Yield?
+  // (Avoids a coroutine-frame allocation per node on the hot path.)
+  virtual bool NeedsYield(const JobContext& ctx) const = 0;
+
+  // Algorithm 2, line 12: called before computing every node; suspends the
+  // calling thread while the job does not hold the GPU token.
+  virtual sim::Task Yield(JobContext& ctx) = 0;
+
+  // Algorithm 2, lines 14-18: called after a node computes; accrues the
+  // node's profiled cost and rotates the token when the quantum expires.
+  virtual void OnNodeComputed(JobContext& ctx, const Node& node) = 0;
+};
+
+}  // namespace olympian::graph

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace olympian::metrics {
+
+// Measures the union of busy intervals of a resource in virtual time.
+//
+// Callers bracket activity with OnBegin/OnEnd; overlapping activations are
+// merged: the meter counts time during which the activation count is > 0.
+// This is exactly the paper's "GPU duration" (Figure 5): the total time that
+// at least one node of a DNN runs on the GPU.
+class BusyMeter {
+ public:
+  // A unit of activity started at `now`.
+  void OnBegin(sim::TimePoint now) {
+    if (depth_ == 0) busy_since_ = now;
+    ++depth_;
+  }
+
+  // A unit of activity ended at `now`.
+  void OnEnd(sim::TimePoint now) {
+    if (depth_ == 0) throw std::logic_error("BusyMeter::OnEnd without OnBegin");
+    --depth_;
+    if (depth_ == 0) total_ += now - busy_since_;
+  }
+
+  // Total busy duration up to `now` (includes the open interval, if any).
+  sim::Duration Total(sim::TimePoint now) const {
+    sim::Duration t = total_;
+    if (depth_ > 0) t += now - busy_since_;
+    return t;
+  }
+
+  bool busy() const { return depth_ > 0; }
+  std::int64_t depth() const { return depth_; }
+
+ private:
+  std::int64_t depth_ = 0;
+  sim::TimePoint busy_since_;
+  sim::Duration total_;
+};
+
+}  // namespace olympian::metrics

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace olympian::metrics {
+
+// A collection of scalar observations with summary statistics.
+//
+// Stores all values, so percentiles and CDFs are exact. Use Welford (below)
+// when only streaming mean/stddev is needed.
+class Series {
+ public:
+  void Add(double v) { values_.push_back(v); }
+  void AddDuration(sim::Duration d) { values_.push_back(d.micros()); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double Sum() const;
+  double Mean() const;
+  // Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+  double Stddev() const;
+  // Coefficient of variation: stddev / mean.
+  double Cv() const;
+  double Min() const;
+  double Max() const;
+  // Nearest-rank percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+  // Empirical CDF evaluated at `x`: fraction of values <= x.
+  double CdfAt(double x) const;
+
+  // (value, cumulative fraction) pairs at each distinct observation,
+  // suitable for plotting the paper's CDF figures (e.g. Figure 4).
+  std::vector<std::pair<double, double>> CdfPoints() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double>& MutableSorted() const;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;  // lazy cache, invalidated by size
+};
+
+// Streaming mean/variance (Welford's algorithm); O(1) memory.
+class Welford {
+ public:
+  void Add(double v);
+  std::size_t count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Linear least-squares fit y = a*x + b. Used by the profiler to extrapolate
+// node costs across batch sizes (paper §3.2 / Figure 20).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double Eval(double x) const { return slope * x + intercept; }
+};
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace olympian::metrics

@@ -1,0 +1,54 @@
+#include "metrics/trace.h"
+
+#include <ostream>
+
+namespace olympian::metrics {
+
+void Tracer::AddSpan(const char* category, std::string name,
+                     std::int64_t track, sim::TimePoint start,
+                     sim::TimePoint end) {
+  if (full()) return;
+  events_.push_back(Event{category, std::move(name), track, start.nanos(),
+                          (end - start).nanos()});
+}
+
+void Tracer::AddInstant(const char* category, std::string name,
+                        std::int64_t track, sim::TimePoint t) {
+  if (full()) return;
+  events_.push_back(Event{category, std::move(name), track, t.nanos(), -1});
+}
+
+namespace {
+
+void EscapeInto(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    // Chrome expects microsecond timestamps; keep sub-us precision as
+    // fractional microseconds.
+    const double ts_us = static_cast<double>(e.start_ns) / 1e3;
+    os << R"({"cat":")" << e.category << R"(","name":")";
+    EscapeInto(os, e.name);
+    os << R"(","pid":1,"tid":)" << e.track << R"(,"ts":)" << ts_us;
+    if (e.dur_ns < 0) {
+      os << R"(,"ph":"i","s":"t"})";
+    } else {
+      os << R"(,"ph":"X","dur":)" << static_cast<double>(e.dur_ns) / 1e3
+         << "}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace olympian::metrics

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace olympian::metrics {
+
+// Structured execution tracing with Chrome trace-event export.
+//
+// Components (executor, scheduler) record spans — named intervals on a
+// numbered track — and the result loads directly into chrome://tracing or
+// Perfetto: tracks become "threads" (one per job, plus a scheduler track),
+// so a run's token tenures, node executions, and kernel waits are visible
+// on one timeline.
+//
+// Recording stops silently once `max_events` is reached (a full serving run
+// executes millions of nodes; traces are for inspecting windows, not whole
+// runs).
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_events = 200000) : max_events_(max_events) {}
+
+  // Track used by the scheduler for token tenures.
+  static constexpr std::int64_t kSchedulerTrack = -1;
+
+  void AddSpan(const char* category, std::string name, std::int64_t track,
+               sim::TimePoint start, sim::TimePoint end);
+  void AddInstant(const char* category, std::string name, std::int64_t track,
+                  sim::TimePoint t);
+
+  std::size_t size() const { return events_.size(); }
+  bool full() const { return events_.size() >= max_events_; }
+
+  struct Event {
+    const char* category;
+    std::string name;
+    std::int64_t track;
+    std::int64_t start_ns;
+    std::int64_t dur_ns;  // -1 => instant
+  };
+
+  // Raw events, for programmatic analysis (tests, custom reports).
+  const std::vector<Event>& events() const { return events_; }
+
+  // Chrome trace-event "JSON array" format.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  std::size_t max_events_;
+  std::vector<Event> events_;
+};
+
+}  // namespace olympian::metrics

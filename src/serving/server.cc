@@ -1,0 +1,185 @@
+#include "serving/server.h"
+
+#include <cmath>
+#include <utility>
+
+namespace olympian::serving {
+
+Experiment::Experiment(ServerOptions options) : options_(std::move(options)) {
+  if (options_.num_gpus < 1) {
+    throw std::invalid_argument("num_gpus must be >= 1");
+  }
+  // Derive decorrelated seeds for each device and executor.
+  sim::Rng master(options_.seed);
+  for (int i = 0; i < options_.num_gpus; ++i) {
+    gpusim::Gpu::Options gpu_opts = options_.gpu;
+    gpu_opts.seed = master.NextU64();
+    gpus_.push_back(std::make_unique<gpusim::Gpu>(env_, gpu_opts));
+    executor_seeds_.push_back(master.NextU64());
+  }
+  executors_.resize(gpus_.size());
+  hooks_.resize(gpus_.size(), nullptr);
+  pool_ = std::make_unique<graph::ThreadPool>(env_, options_.pool_threads);
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::SetGpuHooks(std::size_t gpu_index,
+                             graph::SchedulingHooks* hooks) {
+  if (executors_.at(gpu_index) != nullptr) {
+    throw std::logic_error("SetGpuHooks must precede executor construction");
+  }
+  hooks_.at(gpu_index) = hooks;
+}
+
+graph::Executor& Experiment::executor(std::size_t gpu_index) {
+  auto& exec = executors_.at(gpu_index);
+  if (!exec) {
+    exec = std::make_unique<graph::Executor>(
+        env_, *gpus_[gpu_index], *pool_, options_.executor,
+        executor_seeds_[gpu_index], hooks_[gpu_index]);
+  }
+  return *exec;
+}
+
+const graph::Graph& Experiment::LoadModel(const std::string& name,
+                                          std::size_t gpu_index) {
+  auto it = loaded_.find(name);
+  if (it == loaded_.end()) {
+    const models::ModelSpec& spec = models::GetModel(name);
+    it = loaded_
+             .emplace(name, std::make_unique<graph::Graph>(
+                                models::BuildModel(spec)))
+             .first;
+  }
+  // Model parameters are loaded once per device and shared by its clients.
+  if (params_resident_.emplace(gpu_index, name).second) {
+    gpus_.at(gpu_index)->AllocateMemory(gpusim::kNoJob,
+                                        models::GetModel(name).params_mb);
+  }
+  return *it->second;
+}
+
+graph::JobContext& Experiment::CreateJob(const std::string& model,
+                                         int max_batch,
+                                         std::size_t gpu_index) {
+  LoadModel(model, gpu_index);
+  const models::ModelSpec& mspec = models::GetModel(model);
+  auto ctx = std::make_unique<graph::JobContext>();
+  ctx->job = next_job_id_++;
+  ctx->client_name = model + "#" + std::to_string(ctx->job);
+  ctx->model_key = models::ModelKey(model, max_batch);
+  ctx->batch = max_batch;
+  for (int s = 0; s < options_.streams_per_job; ++s) {
+    ctx->streams.push_back(gpus_.at(gpu_index)->CreateStream());
+  }
+  gpus_.at(gpu_index)->AllocateMemory(ctx->job, mspec.ClientMemoryMb(max_batch));
+  contexts_.push_back(std::move(ctx));
+  return *contexts_.back();
+}
+
+void Experiment::FinishManualRun() {
+  env_.Run();
+  makespan_ = env_.Now() - sim::TimePoint();
+  pool_->Shutdown();
+  env_.Run();
+}
+
+sim::Task Experiment::ClientProc(graph::JobContext& ctx, const graph::Graph& g,
+                                 ClientSpec spec, std::uint64_t seed,
+                                 ClientResult& out) {
+  sim::Rng rng(seed);
+  graph::Executor& exec = executor(out.gpu_index);
+  const bool open_loop = spec.mean_interarrival > sim::Duration::Zero();
+  sim::TimePoint arrival;  // request b's arrival instant (t=0 for b=0)
+  for (int b = 0; b < spec.num_batches; ++b) {
+    if (open_loop) {
+      if (b > 0) {
+        // Poisson arrivals: exponential interarrival gaps. A request that
+        // arrives while the previous one is in flight queues at the client,
+        // and its latency includes that wait.
+        arrival = arrival + spec.mean_interarrival *
+                                (-std::log(1.0 - rng.NextDouble()));
+      }
+      if (arrival > env_.Now()) co_await env_.Delay(arrival - env_.Now());
+    } else {
+      arrival = env_.Now();
+    }
+    co_await exec.RunOnce(ctx, g);
+    out.request_latency_ms.push_back((env_.Now() - arrival).millis());
+    ++out.batches_completed;
+  }
+  out.finish_time = env_.Now() - sim::TimePoint();
+  out.gpu_duration = gpus_[out.gpu_index]->JobGpuDuration(ctx.job);
+}
+
+std::vector<ClientResult> Experiment::Run(
+    const std::vector<ClientSpec>& clients) {
+  if (ran_) throw std::logic_error("Experiment::Run may only be called once");
+  ran_ = true;
+  for (std::size_t i = 0; i < gpus_.size(); ++i) executor(i);  // bind hooks
+
+  std::vector<ClientResult> results(clients.size());
+  std::vector<sim::Process> procs;
+  procs.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const ClientSpec& spec = clients[i];
+    const std::size_t gpu_index = i % gpus_.size();  // round-robin placement
+    const graph::Graph& g = LoadModel(spec.model, gpu_index);
+    const models::ModelSpec& mspec = models::GetModel(spec.model);
+
+    auto ctx = std::make_unique<graph::JobContext>();
+    ctx->job = next_job_id_++;
+    ctx->client_name = spec.model + "#" + std::to_string(i);
+    ctx->model_key = models::ModelKey(spec.model, spec.batch);
+    ctx->batch = spec.batch;
+    ctx->weight = spec.weight;
+    ctx->priority = spec.priority;
+    ctx->min_share = spec.min_share;
+    for (int s = 0; s < options_.streams_per_job; ++s) {
+      ctx->streams.push_back(gpus_[gpu_index]->CreateStream());
+    }
+    // Per-client activation memory for in-flight batches (§4.3).
+    gpus_[gpu_index]->AllocateMemory(ctx->job, mspec.ClientMemoryMb(spec.batch));
+
+    ClientResult& out = results[i];
+    out.name = ctx->client_name;
+    out.job = ctx->job;
+    out.model = spec.model;
+    out.batch = spec.batch;
+    out.gpu_index = gpu_index;
+
+    procs.push_back(env_.Spawn(
+        ClientProc(*ctx, g, spec, options_.seed * 7919 + i, out),
+        ctx->client_name));
+    contexts_.push_back(std::move(ctx));
+  }
+
+  env_.Run();
+
+  sim::Duration makespan;
+  bool stalled = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    makespan = std::max(makespan, results[i].finish_time);
+    if (results[i].batches_completed < clients[i].num_batches) stalled = true;
+  }
+  makespan_ = makespan;
+  if (stalled) {
+    throw ServerStalled(
+        "workload stalled: thread pool exhausted by suspended gangs (" +
+        std::to_string(pool_->num_threads()) + " threads, " +
+        std::to_string(clients.size()) + " clients)");
+  }
+  pool_->Shutdown();
+  env_.Run();  // drain exiting workers
+  return results;
+}
+
+double Experiment::utilization() const {
+  if (makespan_ <= sim::Duration::Zero()) return 0.0;
+  sim::Duration busy;
+  for (const auto& g : gpus_) busy += g->TotalBusy();
+  return busy.Ratio(makespan_) / static_cast<double>(gpus_.size());
+}
+
+}  // namespace olympian::serving

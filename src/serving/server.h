@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gpusim/gpu.h"
+#include "graph/executor.h"
+#include "graph/graph.h"
+#include "graph/hooks.h"
+#include "graph/thread_pool.h"
+#include "models/model_zoo.h"
+#include "sim/environment.h"
+
+namespace olympian::serving {
+
+// Thrown when a workload cannot make progress — every runnable event has
+// drained but clients are unfinished. This is how the simulated server
+// surfaces the paper's §4.3 scalability limit: suspended gangs holding all
+// pool threads.
+struct ServerStalled : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Configuration of one model-server instance.
+struct ServerOptions {
+  gpusim::Gpu::Options gpu;  // device spec + driver arbitration
+  // Number of identical devices in the server (extension of the paper's
+  // single-GPU scope, per its §7 future work). Clients are placed
+  // round-robin; each device gets its own driver and, under Olympian, its
+  // own scheduler.
+  int num_gpus = 1;
+  // Size of the shared inter-op thread pool (TF-Serving's threadPool).
+  // Under Olympian, suspended gangs hold pool threads across quanta, so the
+  // pool — not GPU memory — caps how many concurrent clients some models
+  // can sustain (paper §4.3).
+  std::size_t pool_threads = 300;
+  // GPU streams per job; bounds a job's intra-request kernel concurrency.
+  int streams_per_job = 2;
+  graph::ExecutorOptions executor;
+  // Master seed; every stochastic component derives its stream from it.
+  std::uint64_t seed = 1;
+};
+
+// One client of the serving system: `num_batches` inference requests
+// against `model` at batch size `batch` (the paper's default workload is 10
+// back-to-back batches of 100).
+//
+// With `mean_interarrival` zero the client is closed-loop (paper style):
+// each request is issued as soon as the previous one finishes. A positive
+// value makes it open-loop: requests arrive by a Poisson process (an
+// extension toward the paper's "more realistic workloads" future work) and
+// per-request latency is recorded.
+struct ClientSpec {
+  std::string model;
+  int batch = 100;
+  int num_batches = 10;
+  int weight = 1;
+  int priority = 0;
+  // Guaranteed minimum GPU share for the reservation policy (extension).
+  double min_share = 0.0;
+  sim::Duration mean_interarrival = sim::Duration::Zero();
+};
+
+// Per-client outcome of a workload run.
+struct ClientResult {
+  std::string name;
+  gpusim::JobId job = gpusim::kNoJob;
+  std::string model;
+  int batch = 0;
+  // Wall-clock from workload start to this client's last response.
+  sim::Duration finish_time;
+  // Total GPU duration (Figure 5 union) attributed to this client.
+  sim::Duration gpu_duration;
+  int batches_completed = 0;
+  // Which device served this client (round-robin placement).
+  std::size_t gpu_index = 0;
+  // Per-request latency (arrival -> response), milliseconds. For
+  // closed-loop clients the arrival is the previous response.
+  std::vector<double> request_latency_ms;
+};
+
+// A complete single-GPU serving experiment: environment, device, thread
+// pool, executor, and clients. Mirrors how the paper runs every
+// measurement: N concurrent clients issued against one TF-Serving process.
+//
+// Usage:
+//   Experiment exp(options);
+//   exp.SetHooks(&scheduler);              // omit for stock TF-Serving
+//   auto results = exp.Run(clients);
+class Experiment {
+ public:
+  explicit Experiment(ServerOptions options);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  // Install a scheduler on device 0 (the common single-GPU case). Must be
+  // called before Run; the hooks object must outlive the experiment.
+  void SetHooks(graph::SchedulingHooks* hooks) { SetGpuHooks(0, hooks); }
+
+  // Install a per-device scheduler (multi-GPU servers need one scheduler
+  // per device — a token is a per-device grant).
+  void SetGpuHooks(std::size_t gpu_index, graph::SchedulingHooks* hooks);
+
+  sim::Environment& env() { return env_; }
+  gpusim::Gpu& gpu() { return *gpus_[0]; }
+  gpusim::Gpu& gpu(std::size_t i) { return *gpus_.at(i); }
+  std::size_t num_gpus() const { return gpus_.size(); }
+  graph::ThreadPool& pool() { return *pool_; }
+  graph::Executor& executor() { return executor(0); }
+  graph::Executor& executor(std::size_t gpu_index);
+
+  // Loads a model onto a device (allocating its parameter memory there
+  // once) and returns its graph. Called implicitly by Run.
+  const graph::Graph& LoadModel(const std::string& name,
+                                std::size_t gpu_index = 0);
+
+  // Manual-workload API (used by the Batcher and custom drivers instead of
+  // Run): create a job with streams and activation memory for up to
+  // `max_batch` items. The context lives as long as the experiment.
+  graph::JobContext& CreateJob(const std::string& model, int max_batch,
+                               std::size_t gpu_index = 0);
+
+  // Manual-workload API: drain the pool and run the simulation to
+  // completion after the caller's own processes have been spawned. Note:
+  // makespan() then reports the drain time of the event queue, which may
+  // include disarmed timers firing as no-ops; measure request latencies at
+  // the call sites for precise timings.
+  void FinishManualRun();
+
+  // Runs all clients concurrently from t=0 to completion. Throws
+  // ServerStalled if progress stops (capacity exceeded) and
+  // gpusim::OutOfDeviceMemory if activations do not fit.
+  std::vector<ClientResult> Run(const std::vector<ClientSpec>& clients);
+
+  // Post-run metrics.
+  sim::Duration makespan() const { return makespan_; }
+  // nvidia-smi-style utilization: GPU-busy fraction of the makespan.
+  double utilization() const;
+
+  // The JobContexts created for the last Run (for scheduler inspection).
+  const std::vector<std::unique_ptr<graph::JobContext>>& job_contexts() const {
+    return contexts_;
+  }
+
+ private:
+  sim::Task ClientProc(graph::JobContext& ctx, const graph::Graph& g,
+                       ClientSpec spec, std::uint64_t seed, ClientResult& out);
+
+  ServerOptions options_;
+  sim::Environment env_;
+  std::vector<std::unique_ptr<gpusim::Gpu>> gpus_;
+  std::unique_ptr<graph::ThreadPool> pool_;
+  std::vector<std::unique_ptr<graph::Executor>> executors_;
+  std::vector<graph::SchedulingHooks*> hooks_;
+  std::vector<std::uint64_t> executor_seeds_;
+  std::unordered_map<std::string, std::unique_ptr<graph::Graph>> loaded_;
+  // (gpu_index, model) pairs whose parameters are already resident.
+  std::set<std::pair<std::size_t, std::string>> params_resident_;
+  std::vector<std::unique_ptr<graph::JobContext>> contexts_;
+  gpusim::JobId next_job_id_ = 0;
+  sim::Duration makespan_;
+  bool ran_ = false;
+};
+
+}  // namespace olympian::serving

@@ -1,0 +1,106 @@
+#include "serving/workload_spec.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace olympian::serving {
+
+namespace {
+
+[[noreturn]] void Fail(int line, const std::string& what) {
+  throw std::invalid_argument("workload spec line " + std::to_string(line) +
+                              ": " + what);
+}
+
+// Parses "key=value" into the matching ClientSpec field.
+void ApplyClientAttr(ClientSpec& c, const std::string& attr, int line) {
+  const auto eq = attr.find('=');
+  if (eq == std::string::npos) Fail(line, "expected key=value, got " + attr);
+  const std::string key = attr.substr(0, eq);
+  const std::string value = attr.substr(eq + 1);
+  try {
+    if (key == "batch") {
+      c.batch = std::stoi(value);
+    } else if (key == "n") {
+      c.num_batches = std::stoi(value);
+    } else if (key == "weight") {
+      c.weight = std::stoi(value);
+    } else if (key == "priority") {
+      c.priority = std::stoi(value);
+    } else if (key == "min-share") {
+      c.min_share = std::stod(value);
+    } else if (key == "interarrival-ms") {
+      c.mean_interarrival = sim::Duration::Millis(std::stoll(value));
+    } else {
+      Fail(line, "unknown client attribute '" + key + "'");
+    }
+  } catch (const std::invalid_argument&) {
+    Fail(line, "bad value for '" + key + "': " + value);
+  }
+}
+
+}  // namespace
+
+ServerOptions WorkloadSpec::ToServerOptions() const {
+  ServerOptions opts;
+  opts.seed = seed;
+  opts.num_gpus = num_gpus;
+  opts.pool_threads = pool_threads;
+  return opts;
+}
+
+WorkloadSpec WorkloadSpec::Parse(std::istream& is) {
+  WorkloadSpec spec;
+  std::string raw;
+  int line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank/comment line
+    if (key == "seed") {
+      if (!(ls >> spec.seed)) Fail(line, "seed needs an integer");
+    } else if (key == "gpus") {
+      if (!(ls >> spec.num_gpus) || spec.num_gpus < 1) {
+        Fail(line, "gpus needs a positive integer");
+      }
+    } else if (key == "pool-threads") {
+      if (!(ls >> spec.pool_threads)) Fail(line, "pool-threads needs an int");
+    } else if (key == "policy") {
+      if (!(ls >> spec.policy)) Fail(line, "policy needs a name");
+    } else if (key == "quantum-us") {
+      std::int64_t us;
+      if (!(ls >> us) || us <= 0) Fail(line, "quantum-us needs a positive int");
+      spec.quantum = sim::Duration::Micros(us);
+    } else if (key == "client") {
+      ClientSpec c;
+      if (!(ls >> c.model)) Fail(line, "client needs a model name");
+      std::string attr;
+      while (ls >> attr) ApplyClientAttr(c, attr, line);
+      spec.clients.push_back(std::move(c));
+    } else {
+      Fail(line, "unknown directive '" + key + "'");
+    }
+  }
+  if (spec.clients.empty()) {
+    throw std::invalid_argument("workload spec has no clients");
+  }
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::ParseString(const std::string& text) {
+  std::istringstream is(text);
+  return Parse(is);
+}
+
+WorkloadSpec WorkloadSpec::LoadFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open workload spec " + path);
+  return Parse(is);
+}
+
+}  // namespace olympian::serving

@@ -1,0 +1,136 @@
+#include "sim/environment.h"
+
+#include <utility>
+
+namespace olympian::sim {
+
+namespace detail {
+
+void ProcessState::OnComplete(std::exception_ptr e) {
+  done = true;
+  exception = std::move(e);
+  const bool had_joiners = !joiners.empty();
+  for (auto h : joiners) env->ScheduleNow(h);
+  joiners.clear();
+  env->NoteProcessDone(this, had_joiners);
+}
+
+}  // namespace detail
+
+std::coroutine_handle<> Task::FinalAwaiter::await_suspend(Handle h) noexcept {
+  auto& p = h.promise();
+  if (p.process != nullptr) {
+    detail::ProcessState* s = p.process;
+    s->frame = nullptr;  // the frame self-destroys below
+    s->OnComplete(std::move(p.exception));
+    h.destroy();
+    return std::noop_coroutine();
+  }
+  if (p.continuation) return p.continuation;
+  return std::noop_coroutine();
+}
+
+namespace {
+const std::string kAnonymous = "<process>";
+}  // namespace
+
+const std::string& Process::name() const {
+  return state_ ? state_->name : kAnonymous;
+}
+
+Environment::~Environment() {
+  tearing_down_ = true;
+  // Destroy any still-suspended process frames. Frame-local destructors may
+  // schedule further events; those are dropped along with the queue.
+  for (auto& s : processes_) {
+    if (s->frame) {
+      auto f = std::exchange(s->frame, nullptr);
+      f.destroy();
+    }
+  }
+  processes_.clear();
+}
+
+Process Environment::Spawn(Task t, std::string name) {
+  auto state = std::make_shared<detail::ProcessState>();
+  state->env = this;
+  state->name = std::move(name);
+  state->id = next_process_id_++;
+  state->frame = t.Release();
+  state->frame.promise().process = state.get();
+  ++live_;
+  processes_.push_back(state);
+  ScheduleNow(state->frame);
+  return Process(state);
+}
+
+void Environment::ScheduleAt(TimePoint t, std::coroutine_handle<> h) {
+  if (tearing_down_) return;
+  queue_.push(Event{t, next_seq_++, h, nullptr, nullptr, 0});
+}
+
+void Environment::ScheduleCallbackAt(TimePoint t, Callback fn, void* ctx,
+                                     std::uint64_t arg) {
+  if (tearing_down_) return;
+  queue_.push(Event{t, next_seq_++, nullptr, fn, ctx, arg});
+}
+
+bool Environment::Step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.top();
+  queue_.pop();
+  now_ = e.t;
+  ++events_executed_;
+  if (e.fn != nullptr) {
+    e.fn(e.ctx, e.arg);
+  } else {
+    e.h.resume();
+  }
+  return true;
+}
+
+void Environment::Run() {
+  while (Step()) {
+  }
+  if (first_error_) {
+    std::rethrow_exception(std::exchange(first_error_, nullptr));
+  }
+}
+
+bool Environment::RunUntil(TimePoint deadline) {
+  for (;;) {
+    if (queue_.empty()) {
+      if (first_error_) {
+        std::rethrow_exception(std::exchange(first_error_, nullptr));
+      }
+      return true;
+    }
+    if (queue_.top().t > deadline) {
+      now_ = deadline;
+      if (first_error_) {
+        std::rethrow_exception(std::exchange(first_error_, nullptr));
+      }
+      return false;
+    }
+    Step();
+  }
+}
+
+void Environment::NoteProcessDone(detail::ProcessState* s, bool had_joiners) {
+  --live_;
+  if (s->exception && !had_joiners) {
+    // Nobody was waiting on this process; surface the error from Run().
+    if (!first_error_) first_error_ = s->exception;
+  }
+  // Drop the environment's reference so completed states are reclaimed once
+  // user-held Process handles go away.
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i].get() == s) {
+      processes_[i] = std::move(processes_.back());
+      processes_.pop_back();
+      break;
+    }
+  }
+}
+
+}  // namespace olympian::sim

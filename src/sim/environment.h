@@ -1,0 +1,166 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace olympian::sim {
+
+class Environment;
+class Process;
+
+namespace detail {
+
+// Shared state of a spawned process. Kept alive by the Environment until
+// completion and by any outstanding Process handles.
+struct ProcessState {
+  Environment* env = nullptr;
+  std::string name;
+  std::uint64_t id = 0;
+  bool done = false;
+  std::exception_ptr exception;
+  // Raw frame handle; owned here until completion (then self-destroyed).
+  Task::Handle frame = nullptr;
+  // Coroutines blocked in Process::Join().
+  std::vector<std::coroutine_handle<>> joiners;
+
+  void OnComplete(std::exception_ptr e);
+};
+
+}  // namespace detail
+
+// Handle to a spawned process. Copyable; observing only (no cancellation).
+class Process {
+ public:
+  Process() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ && state_->done; }
+  std::uint64_t id() const { return state_ ? state_->id : 0; }
+  const std::string& name() const;
+
+  // Awaitable: suspends until the process completes. Rethrows the process's
+  // uncaught exception, if any, at the join site. (The Environment also
+  // reports the first uncaught process exception from Run().)
+  auto Join() {
+    struct Awaiter {
+      std::shared_ptr<detail::ProcessState> state;
+      bool await_ready() const noexcept { return !state || state->done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        state->joiners.push_back(h);
+      }
+      void await_resume() const {
+        if (state && state->exception) std::rethrow_exception(state->exception);
+      }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  friend class Environment;
+  explicit Process(std::shared_ptr<detail::ProcessState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::ProcessState> state_;
+};
+
+// A deterministic single-threaded discrete-event simulation.
+//
+// The Environment owns the virtual clock and the event queue. Processes are
+// C++20 coroutines (`Task`) that suspend on awaitables — `Delay`, condition
+// variables, channels — and are resumed by the event loop. Two events at the
+// same virtual instant run in schedule order (FIFO), so a simulation is a
+// pure function of its inputs and seeds.
+class Environment {
+ public:
+  Environment() = default;
+  ~Environment();
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  // Current virtual time.
+  TimePoint Now() const { return now_; }
+
+  // Awaitable: suspend the calling process for `d` of virtual time.
+  // A zero delay still yields through the event queue (a cooperative yield).
+  auto Delay(Duration d) {
+    struct Awaiter {
+      Environment* env;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        env->ScheduleAt(env->now_ + d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  // Start `t` as an independent process. The process begins running at the
+  // current virtual time, after already-queued events.
+  Process Spawn(Task t, std::string name = {});
+
+  // Run until the event queue drains. Throws the first uncaught process
+  // exception, if any (after draining).
+  void Run();
+
+  // Run until the clock would pass `deadline` (events at exactly `deadline`
+  // are executed). Returns true if the queue drained before the deadline.
+  bool RunUntil(TimePoint deadline);
+
+  // Number of spawned processes that have not yet completed.
+  std::size_t live_process_count() const { return live_; }
+
+  // Total events executed; a cheap progress/efficiency metric for benches.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  // Schedule a raw coroutine resume. Used by awaitable primitives; not
+  // usually called directly by application code.
+  void ScheduleAt(TimePoint t, std::coroutine_handle<> h);
+  void ScheduleNow(std::coroutine_handle<> h) { ScheduleAt(now_, h); }
+
+  // Allocation-free timer callback, for high-frequency internal events
+  // (e.g. GPU kernel-wave completions). `ctx` must outlive the event.
+  using Callback = void (*)(void* ctx, std::uint64_t arg);
+  void ScheduleCallbackAt(TimePoint t, Callback fn, void* ctx,
+                          std::uint64_t arg);
+
+ private:
+  friend struct detail::ProcessState;
+
+  struct Event {
+    TimePoint t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;   // exactly one of h / fn is set
+    Callback fn = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t arg = 0;
+    bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  bool Step();  // execute one event; false if queue empty
+  void NoteProcessDone(detail::ProcessState* s, bool had_joiners);
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_process_id_ = 1;
+  std::uint64_t events_executed_ = 0;
+  std::size_t live_ = 0;
+  bool tearing_down_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<std::shared_ptr<detail::ProcessState>> processes_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace olympian::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace olympian::sim {
+
+// Deterministic pseudo-random source (xoshiro256++ seeded via SplitMix64).
+//
+// Every stochastic element of an experiment draws from one Rng so that an
+// experiment is fully reproducible from its seed, and run-to-run variance
+// (e.g. the paper's Figure 3, Run-1 vs Run-2) is obtained by changing seeds.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Log-normal: exp(Normal(mu, sigma)); heavy-tailed, used for node-duration
+  // distributions (paper Figure 4).
+  double LogNormal(double mu, double sigma);
+
+  // A duration jittered multiplicatively: base * Uniform(1-frac, 1+frac).
+  Duration Jitter(Duration base, double frac);
+
+  // Derive an independent stream (for sub-components) without correlating
+  // the parent stream.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace olympian::sim

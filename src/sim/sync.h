@@ -1,0 +1,170 @@
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/environment.h"
+
+namespace olympian::sim {
+
+// Condition variable for simulation processes.
+//
+// Unlike std::condition_variable there is no associated mutex: the
+// simulation is single-threaded and cooperative, so checking a predicate and
+// calling Wait() is atomic with respect to other processes. Callers must
+// still re-check their predicate in a loop: NotifyAll wakes everyone, and a
+// woken process may find the condition already consumed.
+class CondVar {
+ public:
+  explicit CondVar(Environment& env) : env_(&env) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Awaitable: suspend until NotifyOne/NotifyAll.
+  auto Wait() {
+    struct Awaiter {
+      CondVar* cv;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        cv->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  // Wake the longest-waiting process (if any). The wakeup is scheduled at
+  // the current virtual time; it runs after the caller next suspends.
+  void NotifyOne() {
+    if (waiters_.empty()) return;
+    env_->ScheduleNow(waiters_.front());
+    waiters_.pop_front();
+  }
+
+  void NotifyAll() {
+    for (auto h : waiters_) env_->ScheduleNow(h);
+    waiters_.clear();
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Environment* env_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// FIFO mutex for critical sections that span suspension points. Not needed
+// for plain shared data (the simulation is cooperative); use it when a
+// process must hold exclusivity across a Delay or kernel wait.
+class Mutex {
+ public:
+  explicit Mutex(Environment& env) : cv_(env) {}
+
+  // Awaitable lock acquisition (FIFO).
+  Task Lock() {
+    while (locked_) co_await cv_.Wait();
+    locked_ = true;
+  }
+
+  void Unlock() {
+    locked_ = false;
+    cv_.NotifyOne();
+  }
+
+  bool locked() const { return locked_; }
+
+ private:
+  bool locked_ = false;
+  CondVar cv_;
+};
+
+// RAII guard for Mutex. Acquire with `co_await guard.Acquire()`.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : mutex_(&m) {}
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  ~LockGuard() {
+    if (held_) mutex_->Unlock();
+  }
+
+  Task Acquire() {
+    co_await mutex_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* mutex_;
+  bool held_ = false;
+};
+
+// Counting semaphore; models bounded resources (e.g. OS thread-pool slots).
+class Semaphore {
+ public:
+  Semaphore(Environment& env, std::int64_t initial)
+      : count_(initial), cv_(env) {}
+
+  Task Acquire() {
+    while (count_ == 0) co_await cv_.Wait();
+    --count_;
+  }
+
+  // Non-blocking acquire; true on success.
+  bool TryAcquire() {
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  void Release() {
+    ++count_;
+    cv_.NotifyOne();
+  }
+
+  std::int64_t count() const { return count_; }
+
+ private:
+  std::int64_t count_;
+  CondVar cv_;
+};
+
+// Unbounded multi-producer multi-consumer queue. Pop suspends while empty;
+// after Close(), Pop drains remaining items then returns nullopt.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Environment& env) : cv_(env) {}
+
+  void Push(T value) {
+    items_.push_back(std::move(value));
+    cv_.NotifyOne();
+  }
+
+  // Awaitable pop. Returns nullopt once the channel is closed and drained.
+  Task Pop(std::optional<T>& out) {
+    while (items_.empty() && !closed_) co_await cv_.Wait();
+    if (items_.empty()) {
+      out = std::nullopt;
+      co_return;
+    }
+    out = std::move(items_.front());
+    items_.pop_front();
+  }
+
+  void Close() {
+    closed_ = true;
+    cv_.NotifyAll();
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  std::deque<T> items_;
+  bool closed_ = false;
+  CondVar cv_;
+};
+
+}  // namespace olympian::sim

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace olympian::sim {
+
+class Environment;
+
+namespace detail {
+struct ProcessState;
+}  // namespace detail
+
+// The coroutine type for simulation processes.
+//
+// A `Task` models one logical thread of control in virtual time. Tasks are
+// lazy: creating one does not run any code. They are consumed in one of two
+// ways:
+//
+//  * `co_await task` from another task — runs the child to completion within
+//    the parent's logical thread (like a plain function call that may block
+//    in virtual time). Exceptions propagate to the parent.
+//  * `Environment::Spawn(std::move(task))` — runs it as an independent
+//    process (like starting an OS thread). Completion is observed via the
+//    returned `Process` handle.
+//
+// Tasks are move-only and own their coroutine frame until consumed.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    // Coroutine to resume when this task finishes (set by co_await).
+    std::coroutine_handle<> continuation;
+    // Uncaught exception, rethrown at the await site or surfaced by the
+    // Environment for spawned processes.
+    std::exception_ptr exception;
+    // Non-null iff this task was spawned as a top-level process.
+    detail::ProcessState* process = nullptr;
+
+    Task get_return_object() { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  // Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  // when it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      void await_resume() const {
+        if (handle && handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Environment;
+  explicit Task(Handle h) : handle_(h) {}
+
+  // Relinquish ownership of the frame (used by Spawn; the frame then
+  // self-destroys at final suspend).
+  Handle Release() { return std::exchange(handle_, nullptr); }
+
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_ = nullptr;
+};
+
+}  // namespace olympian::sim

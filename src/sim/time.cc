@@ -1,0 +1,31 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace olympian::sim {
+
+namespace {
+
+std::string Format(double value, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToString(Duration d) {
+  const double ns = static_cast<double>(d.nanos());
+  const double mag = std::fabs(ns);
+  if (mag < 1e3) return Format(ns, "ns");
+  if (mag < 1e6) return Format(ns / 1e3, "us");
+  if (mag < 1e9) return Format(ns / 1e6, "ms");
+  return Format(ns / 1e9, "s");
+}
+
+std::string ToString(TimePoint t) {
+  return ToString(t - TimePoint());
+}
+
+}  // namespace olympian::sim

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace olympian::sim {
+
+// A span of virtual time with nanosecond resolution.
+//
+// All simulation timing in this project flows through this type; raw
+// integers never carry time units across an interface. Durations may be
+// negative (the difference of two time points is a Duration).
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(std::int64_t u) { return Duration(u * 1000); }
+  static constexpr Duration Millis(std::int64_t m) {
+    return Duration(m * 1000000);
+  }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  // Larger than any duration arising in practice; safe to add to a TimePoint.
+  static constexpr Duration Max() { return Duration(int64_t{1} << 60); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  // Ratio of two durations, e.g. for utilization computations.
+  constexpr double Ratio(Duration denom) const {
+    return static_cast<double>(ns_) / static_cast<double>(denom.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+// An instant on the virtual clock. Time zero is the start of a simulation.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint FromNanos(std::int64_t ns) { return TimePoint(ns); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(ns_ + d.nanos());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(ns_ - d.nanos());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Nanos(ns_ - o.ns_);
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// Human-readable rendering, e.g. "1.25ms" or "830us"; used in logs and tables.
+std::string ToString(Duration d);
+std::string ToString(TimePoint t);
+
+}  // namespace olympian::sim

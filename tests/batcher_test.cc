@@ -1,0 +1,207 @@
+// Tests for the request batcher (serving/batcher.h) and the profile-store
+// persistence (core/profile_store.h).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/profile_store.h"
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "serving/batcher.h"
+#include "serving/server.h"
+
+namespace olympian::serving {
+namespace {
+
+using sim::Duration;
+using sim::Task;
+
+Batcher::Options SmallBatches() {
+  Batcher::Options o;
+  o.allowed_batch_sizes = {4, 8};
+  o.batch_timeout = Duration::Millis(20);
+  return o;
+}
+
+// Spawns `n` producers that each submit one item after `gap * index`.
+void SpawnProducers(Experiment& exp, Batcher& batcher, int n, Duration gap,
+                    std::vector<sim::Process>& procs) {
+  for (int i = 0; i < n; ++i) {
+    procs.push_back(exp.env().Spawn(
+        [](sim::Environment& env, Batcher& b, Duration delay) -> Task {
+          co_await env.Delay(delay);
+          co_await b.Infer();
+        }(exp.env(), batcher, gap * static_cast<double>(i)),
+        "producer"));
+  }
+}
+
+// A supervisor that closes the batcher once all producers joined.
+sim::Task CloseWhenDone(Batcher& batcher, std::vector<sim::Process> procs) {
+  for (auto& p : procs) co_await p.Join();
+  batcher.Close();
+}
+
+TEST(BatcherTest, CoalescesSimultaneousRequestsIntoOneBatch) {
+  Experiment exp(ServerOptions{});
+  Batcher batcher(exp, "resnet-152", SmallBatches());
+  std::vector<sim::Process> procs;
+  SpawnProducers(exp, batcher, 4, Duration::Zero(), procs);
+  exp.env().Spawn(CloseWhenDone(batcher, std::move(procs)), "supervisor");
+  exp.FinishManualRun();
+  EXPECT_EQ(batcher.items_served(), 4u);
+  EXPECT_EQ(batcher.batches_executed(), 1u);
+  EXPECT_DOUBLE_EQ(batcher.MeanBatchOccupancy(), 1.0);
+}
+
+TEST(BatcherTest, TimeoutFlushesPartialBatch) {
+  Experiment exp(ServerOptions{});
+  Batcher batcher(exp, "resnet-152", SmallBatches());
+  std::vector<sim::Process> procs;
+  SpawnProducers(exp, batcher, 2, Duration::Zero(), procs);
+  exp.env().Spawn(CloseWhenDone(batcher, std::move(procs)), "supervisor");
+  exp.FinishManualRun();
+  // 2 items < max 8, flushed by the 20ms timeout, padded to 4.
+  EXPECT_EQ(batcher.batches_executed(), 1u);
+  EXPECT_EQ(batcher.items_served(), 2u);
+  EXPECT_DOUBLE_EQ(batcher.MeanBatchOccupancy(), 0.5);
+}
+
+TEST(BatcherTest, FullBatchDispatchesBeforeTimeout) {
+  Experiment exp(ServerOptions{});
+  Batcher::Options o = SmallBatches();
+  o.batch_timeout = Duration::Seconds(10);  // effectively never
+  Batcher batcher(exp, "resnet-152", o);
+  std::vector<sim::Process> procs;
+  Duration latency;
+  for (int i = 0; i < 8; ++i) {
+    procs.push_back(exp.env().Spawn(
+        [](Batcher& b, Duration& out) -> Task { co_await b.Infer(&out); }(
+            batcher, latency),
+        "producer"));
+  }
+  exp.env().Spawn(CloseWhenDone(batcher, std::move(procs)), "supervisor");
+  exp.FinishManualRun();
+  EXPECT_EQ(batcher.batches_executed(), 1u);
+  // Dispatched at fill: request latency is execution time, nowhere near the
+  // 10s timeout. (The virtual clock itself still drains the disarmed alarm.)
+  EXPECT_LT(latency, Duration::Seconds(5));
+}
+
+TEST(BatcherTest, StaggeredArrivalsFormMultipleBatches) {
+  Experiment exp(ServerOptions{});
+  Batcher batcher(exp, "resnet-152", SmallBatches());
+  std::vector<sim::Process> procs;
+  // 16 producers spread over ~1.5s: several timeout-flushed batches.
+  SpawnProducers(exp, batcher, 16, Duration::Millis(100), procs);
+  exp.env().Spawn(CloseWhenDone(batcher, std::move(procs)), "supervisor");
+  exp.FinishManualRun();
+  EXPECT_EQ(batcher.items_served(), 16u);
+  EXPECT_GE(batcher.batches_executed(), 2u);
+  EXPECT_LE(batcher.batches_executed(), 16u);
+}
+
+TEST(BatcherTest, ReportsPerRequestLatency) {
+  Experiment exp(ServerOptions{});
+  Batcher batcher(exp, "resnet-152", SmallBatches());
+  Duration latency;
+  auto p = exp.env().Spawn(
+      [](Batcher& b, Duration& out) -> Task { co_await b.Infer(&out); }(
+          batcher, latency),
+      "producer");
+  exp.env().Spawn(CloseWhenDone(batcher, {p}), "supervisor");
+  exp.FinishManualRun();
+  // Latency includes the 20ms timeout wait plus execution.
+  EXPECT_GT(latency, Duration::Millis(20));
+}
+
+TEST(BatcherTest, WorksUnderOlympianWithInterpolatedProfiles) {
+  // The Figure-20 workflow: profiles for the allowed batch sizes come from
+  // two measured sizes via linear regression.
+  core::Profiler profiler;
+  const auto p20 = profiler.ProfileModel("resnet-152", 20);
+  const auto p60 = profiler.ProfileModel("resnet-152", 60);
+  const auto p4 = core::Profiler::Interpolate(p20, p60, 4);
+  const auto p8 = core::Profiler::Interpolate(p20, p60, 8);
+
+  Experiment exp(ServerOptions{});
+  core::Scheduler sched(exp.env(), exp.gpu(),
+                        std::make_unique<core::FairPolicy>());
+  const auto q = Duration::Micros(1200);
+  sched.SetProfile(p4.key, &p4.cost, core::Profiler::ThresholdFor(p4, q));
+  sched.SetProfile(p8.key, &p8.cost, core::Profiler::ThresholdFor(p8, q));
+  exp.SetHooks(&sched);
+
+  Batcher batcher(exp, "resnet-152", SmallBatches());
+  std::vector<sim::Process> procs;
+  SpawnProducers(exp, batcher, 12, Duration::Millis(5), procs);
+  exp.env().Spawn(CloseWhenDone(batcher, std::move(procs)), "supervisor");
+  exp.FinishManualRun();
+  EXPECT_EQ(batcher.items_served(), 12u);
+}
+
+TEST(BatcherTest, RejectsBadOptions) {
+  Experiment exp(ServerOptions{});
+  Batcher::Options empty;
+  empty.allowed_batch_sizes = {};
+  EXPECT_THROW(Batcher(exp, "resnet-152", empty), std::invalid_argument);
+  Batcher::Options unsorted;
+  unsorted.allowed_batch_sizes = {8, 4};
+  EXPECT_THROW(Batcher(exp, "resnet-152", unsorted), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace olympian::serving
+
+namespace olympian::core {
+namespace {
+
+TEST(ProfileStoreTest, RoundTripsExactly) {
+  Profiler profiler;
+  const ModelProfile original = profiler.ProfileModel("resnet-152", 20);
+  std::stringstream ss;
+  ProfileStore::Write(original, ss);
+  const ModelProfile loaded = ProfileStore::Read(ss);
+  EXPECT_EQ(loaded.model, original.model);
+  EXPECT_EQ(loaded.batch, original.batch);
+  EXPECT_EQ(loaded.key, original.key);
+  EXPECT_EQ(loaded.cost.gpu_duration, original.cost.gpu_duration);
+  EXPECT_EQ(loaded.cost.solo_runtime, original.cost.solo_runtime);
+  ASSERT_EQ(loaded.cost.size(), original.cost.size());
+  for (std::size_t i = 0; i < loaded.cost.size(); ++i) {
+    EXPECT_EQ(loaded.cost.costs()[i], original.cost.costs()[i]) << i;
+  }
+  // Thresholds derived from the loaded profile are bit-identical.
+  EXPECT_EQ(Profiler::ThresholdFor(loaded, sim::Duration::Micros(1200)),
+            Profiler::ThresholdFor(original, sim::Duration::Micros(1200)));
+}
+
+TEST(ProfileStoreTest, FileRoundTrip) {
+  Profiler profiler;
+  const ModelProfile original = profiler.ProfileModel("resnet-152", 20);
+  const std::string path = "/tmp/olympian_profile_test.txt";
+  ProfileStore::Save(original, path);
+  const ModelProfile loaded = ProfileStore::Load(path);
+  EXPECT_EQ(loaded.cost.TotalCost(), original.cost.TotalCost());
+}
+
+TEST(ProfileStoreTest, RejectsGarbage) {
+  std::stringstream not_a_profile("hello world");
+  EXPECT_THROW(ProfileStore::Read(not_a_profile), std::invalid_argument);
+  std::stringstream bad_version("olympian-profile v99\n");
+  EXPECT_THROW(ProfileStore::Read(bad_version), std::invalid_argument);
+  std::stringstream truncated(
+      "olympian-profile v1\nmodel x\nbatch 2\ngpu_duration_ns 5\n"
+      "solo_runtime_ns 9\nnodes 3\n1.0\n");
+  EXPECT_THROW(ProfileStore::Read(truncated), std::invalid_argument);
+}
+
+TEST(ProfileStoreTest, MissingFileThrows) {
+  EXPECT_THROW(ProfileStore::Load("/nonexistent/path/profile.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace olympian::core

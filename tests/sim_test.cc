@@ -1,0 +1,565 @@
+// Unit tests for the discrete-event simulation kernel (sim/).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/random.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace olympian::sim {
+namespace {
+
+using ::testing::Test;
+
+TEST(DurationTest, ArithmeticAndConversions) {
+  EXPECT_EQ(Duration::Micros(3).nanos(), 3000);
+  EXPECT_EQ(Duration::Millis(2).nanos(), 2000000);
+  EXPECT_EQ(Duration::Seconds(1.5).nanos(), 1500000000);
+  EXPECT_EQ((Duration::Micros(5) + Duration::Micros(7)).micros(), 12.0);
+  EXPECT_EQ((Duration::Millis(5) - Duration::Millis(7)).millis(), -2.0);
+  EXPECT_EQ((Duration::Micros(10) * 2.5).micros(), 25.0);
+  EXPECT_DOUBLE_EQ(Duration::Millis(1).Ratio(Duration::Millis(4)), 0.25);
+  EXPECT_LT(Duration::Micros(1), Duration::Millis(1));
+}
+
+TEST(DurationTest, TimePointArithmetic) {
+  TimePoint t0;
+  TimePoint t1 = t0 + Duration::Millis(5);
+  EXPECT_EQ((t1 - t0).millis(), 5.0);
+  EXPECT_EQ((t1 - Duration::Millis(5)), t0);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(DurationTest, ToStringPicksUnits) {
+  EXPECT_EQ(ToString(Duration::Nanos(500)), "500ns");
+  EXPECT_EQ(ToString(Duration::Micros(12)), "12us");
+  EXPECT_EQ(ToString(Duration::Millis(3)), "3ms");
+  EXPECT_EQ(ToString(Duration::Seconds(2.0)), "2s");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.Normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, JitterBounded) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    Duration d = r.Jitter(Duration::Micros(100), 0.2);
+    EXPECT_GE(d, Duration::Micros(80));
+    EXPECT_LE(d, Duration::Micros(120));
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(42);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+// --- Environment / Task basics ---
+
+TEST(EnvironmentTest, DelayAdvancesVirtualTime) {
+  Environment env;
+  TimePoint seen;
+  env.Spawn([](Environment& e, TimePoint& out) -> Task {
+    co_await e.Delay(Duration::Millis(10));
+    out = e.Now();
+  }(env, seen));
+  env.Run();
+  EXPECT_EQ(seen, TimePoint() + Duration::Millis(10));
+  EXPECT_EQ(env.live_process_count(), 0u);
+}
+
+TEST(EnvironmentTest, EventsAtSameTimeRunFifo) {
+  Environment env;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    env.Spawn([](Environment& e, std::vector<int>& ord, int id) -> Task {
+      co_await e.Delay(Duration::Millis(1));
+      ord.push_back(id);
+    }(env, order, i));
+  }
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EnvironmentTest, InterleavingFollowsTimestamps) {
+  Environment env;
+  std::vector<std::string> log;
+  env.Spawn([](Environment& e, std::vector<std::string>& lg) -> Task {
+    co_await e.Delay(Duration::Millis(2));
+    lg.push_back("a2");
+    co_await e.Delay(Duration::Millis(2));
+    lg.push_back("a4");
+  }(env, log));
+  env.Spawn([](Environment& e, std::vector<std::string>& lg) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+    lg.push_back("b1");
+    co_await e.Delay(Duration::Millis(2));
+    lg.push_back("b3");
+  }(env, log));
+  env.Run();
+  EXPECT_EQ(log, (std::vector<std::string>{"b1", "a2", "b3", "a4"}));
+}
+
+TEST(EnvironmentTest, NestedTaskAwaitRunsInline) {
+  Environment env;
+  std::vector<int> log;
+  auto child = [](Environment& e, std::vector<int>& lg) -> Task {
+    lg.push_back(1);
+    co_await e.Delay(Duration::Micros(5));
+    lg.push_back(2);
+  };
+  env.Spawn([](Environment& e, std::vector<int>& lg, auto& mk) -> Task {
+    lg.push_back(0);
+    co_await mk(e, lg);
+    lg.push_back(3);
+  }(env, log, child));
+  env.Run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(env.Now(), TimePoint() + Duration::Micros(5));
+}
+
+TEST(EnvironmentTest, JoinWaitsForProcess) {
+  Environment env;
+  TimePoint join_time;
+  Process p = env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(7));
+  }(env));
+  env.Spawn([](Environment& e, Process proc, TimePoint& out) -> Task {
+    co_await proc.Join();
+    out = e.Now();
+  }(env, p, join_time));
+  env.Run();
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(join_time, TimePoint() + Duration::Millis(7));
+}
+
+TEST(EnvironmentTest, JoinOnCompletedProcessReturnsImmediately) {
+  Environment env;
+  Process p = env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+  }(env));
+  bool joined = false;
+  env.Spawn([](Environment& e, Process proc, bool& out) -> Task {
+    co_await e.Delay(Duration::Millis(5));
+    co_await proc.Join();
+    out = true;
+  }(env, p, joined));
+  env.Run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(EnvironmentTest, UncaughtProcessExceptionSurfacesFromRun) {
+  Environment env;
+  env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+    throw std::runtime_error("boom");
+  }(env));
+  EXPECT_THROW(env.Run(), std::runtime_error);
+}
+
+TEST(EnvironmentTest, JoinRethrowsProcessException) {
+  Environment env;
+  Process p = env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+    throw std::runtime_error("boom");
+  }(env));
+  bool caught = false;
+  env.Spawn([](Process proc, bool& out) -> Task {
+    try {
+      co_await proc.Join();
+    } catch (const std::runtime_error&) {
+      out = true;
+    }
+  }(p, caught));
+  env.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(EnvironmentTest, RunUntilStopsAtDeadline) {
+  Environment env;
+  int ticks = 0;
+  env.Spawn([](Environment& e, int& t) -> Task {
+    for (int i = 0; i < 10; ++i) {
+      co_await e.Delay(Duration::Millis(1));
+      ++t;
+    }
+  }(env, ticks));
+  bool drained = env.RunUntil(TimePoint() + Duration::Millis(3));
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(env.Now(), TimePoint() + Duration::Millis(3));
+  env.Run();
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(EnvironmentTest, TeardownWithLiveProcessesDoesNotLeak) {
+  // A process suspended forever is destroyed cleanly with the environment
+  // (checked for leaks/UB under ASan in CI; here we just exercise it).
+  auto env = std::make_unique<Environment>();
+  CondVar cv(*env);
+  env->Spawn([](CondVar& c) -> Task { co_await c.Wait(); }(cv));
+  env->RunUntil(TimePoint() + Duration::Millis(1));
+  EXPECT_EQ(env->live_process_count(), 1u);
+  env.reset();  // must not crash
+}
+
+TEST(EnvironmentTest, ZeroDelayYieldsThroughQueue) {
+  Environment env;
+  std::vector<int> log;
+  env.Spawn([](Environment& e, std::vector<int>& lg) -> Task {
+    lg.push_back(0);
+    co_await e.Delay(Duration::Zero());
+    lg.push_back(2);
+  }(env, log));
+  env.Spawn([](std::vector<int>& lg) -> Task {
+    lg.push_back(1);
+    co_return;
+  }(log));
+  env.Run();
+  EXPECT_EQ(log, (std::vector<int>{0, 1, 2}));
+}
+
+// --- Synchronization primitives ---
+
+TEST(CondVarTest, NotifyOneWakesInFifoOrder) {
+  Environment env;
+  CondVar cv(env);
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    env.Spawn([](CondVar& c, std::vector<int>& w, int id) -> Task {
+      co_await c.Wait();
+      w.push_back(id);
+    }(cv, woke, i));
+  }
+  env.Spawn([](Environment& e, CondVar& c) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+    c.NotifyOne();
+    co_await e.Delay(Duration::Millis(1));
+    c.NotifyOne();
+    co_await e.Delay(Duration::Millis(1));
+    c.NotifyOne();
+  }(env, cv));
+  env.Run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryone) {
+  Environment env;
+  CondVar cv(env);
+  int woke = 0;
+  for (int i = 0; i < 10; ++i) {
+    env.Spawn([](CondVar& c, int& w) -> Task {
+      co_await c.Wait();
+      ++w;
+    }(cv, woke));
+  }
+  env.Spawn([](Environment& e, CondVar& c) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+    c.NotifyAll();
+  }(env, cv));
+  env.Run();
+  EXPECT_EQ(woke, 10);
+}
+
+TEST(CondVarTest, NotifyWithNoWaitersIsNoop) {
+  Environment env;
+  CondVar cv(env);
+  cv.NotifyOne();
+  cv.NotifyAll();
+  env.Run();
+  EXPECT_EQ(cv.waiter_count(), 0u);
+}
+
+TEST(MutexTest, MutualExclusionAcrossSuspension) {
+  Environment env;
+  Mutex m(env);
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 5; ++i) {
+    env.Spawn([](Environment& e, Mutex& mu, int& in, int& mx) -> Task {
+      co_await mu.Lock();
+      ++in;
+      mx = std::max(mx, in);
+      co_await e.Delay(Duration::Millis(1));  // hold across suspension
+      --in;
+      mu.Unlock();
+    }(env, m, inside, max_inside));
+  }
+  env.Run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_FALSE(m.locked());
+}
+
+TEST(SemaphoreTest, BoundsConcurrency) {
+  Environment env;
+  Semaphore sem(env, 3);
+  int inside = 0, max_inside = 0;
+  for (int i = 0; i < 10; ++i) {
+    env.Spawn([](Environment& e, Semaphore& s, int& in, int& mx) -> Task {
+      co_await s.Acquire();
+      ++in;
+      mx = std::max(mx, in);
+      co_await e.Delay(Duration::Millis(1));
+      --in;
+      s.Release();
+    }(env, sem, inside, max_inside));
+  }
+  env.Run();
+  EXPECT_EQ(max_inside, 3);
+  EXPECT_EQ(sem.count(), 3);
+}
+
+TEST(SemaphoreTest, TryAcquire) {
+  Environment env;
+  Semaphore sem(env, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(ChannelTest, PushPopOrdering) {
+  Environment env;
+  Channel<int> ch(env);
+  std::vector<int> got;
+  env.Spawn([](Channel<int>& c, std::vector<int>& g) -> Task {
+    for (;;) {
+      std::optional<int> v;
+      co_await c.Pop(v);
+      if (!v) break;
+      g.push_back(*v);
+    }
+  }(ch, got));
+  env.Spawn([](Environment& e, Channel<int>& c) -> Task {
+    for (int i = 0; i < 5; ++i) {
+      c.Push(i);
+      co_await e.Delay(Duration::Micros(1));
+    }
+    c.Close();
+  }(env, ch));
+  env.Run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, CloseDrainsBeforeNullopt) {
+  Environment env;
+  Channel<int> ch(env);
+  ch.Push(1);
+  ch.Push(2);
+  ch.Close();
+  std::vector<int> got;
+  bool saw_end = false;
+  env.Spawn([](Channel<int>& c, std::vector<int>& g, bool& end) -> Task {
+    for (;;) {
+      std::optional<int> v;
+      co_await c.Pop(v);
+      if (!v) {
+        end = true;
+        break;
+      }
+      g.push_back(*v);
+    }
+  }(ch, got, saw_end));
+  env.Run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(ChannelTest, MultipleConsumersShareWork) {
+  Environment env;
+  Channel<int> ch(env);
+  std::vector<int> counts(3, 0);
+  for (int w = 0; w < 3; ++w) {
+    env.Spawn([](Environment& e, Channel<int>& c, int& count) -> Task {
+      for (;;) {
+        std::optional<int> v;
+        co_await c.Pop(v);
+        if (!v) break;
+        ++count;
+        co_await e.Delay(Duration::Millis(1));  // simulate work
+      }
+    }(env, ch, counts[w]));
+  }
+  env.Spawn([](Environment& e, Channel<int>& c) -> Task {
+    for (int i = 0; i < 9; ++i) c.Push(i);
+    co_await e.Delay(Duration::Millis(10));
+    c.Close();
+  }(env, ch));
+  env.Run();
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 9);
+  for (int c : counts) EXPECT_GT(c, 0);  // work actually spread
+}
+
+// Property: with identical seeds, an entire stochastic simulation replays
+// identically (determinism is the foundation for every experiment).
+class DeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<std::int64_t> RunStochasticSim(std::uint64_t seed) {
+  Environment env;
+  Rng rng(seed);
+  Channel<int> ch(env);
+  std::vector<std::int64_t> trace;
+  for (int w = 0; w < 4; ++w) {
+    env.Spawn([](Environment& e, Channel<int>& c, Rng& r,
+                 std::vector<std::int64_t>& tr) -> Task {
+      for (;;) {
+        std::optional<int> v;
+        co_await c.Pop(v);
+        if (!v) break;
+        co_await e.Delay(Duration::Nanos(r.UniformInt(100, 5000)));
+        tr.push_back(e.Now().nanos() * 1000 + *v);
+      }
+    }(env, ch, rng, trace));
+  }
+  env.Spawn([](Environment& e, Channel<int>& c, Rng& r) -> Task {
+    for (int i = 0; i < 50; ++i) {
+      c.Push(i);
+      co_await e.Delay(Duration::Nanos(r.UniformInt(10, 2000)));
+    }
+    c.Close();
+  }(env, ch, rng));
+  env.Run();
+  return trace;
+}
+
+TEST_P(DeterminismTest, SameSeedSameTrace) {
+  auto a = RunStochasticSim(GetParam());
+  auto b = RunStochasticSim(GetParam());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 50u);
+}
+
+TEST_P(DeterminismTest, DifferentSeedDifferentTrace) {
+  auto a = RunStochasticSim(GetParam());
+  auto b = RunStochasticSim(GetParam() + 1);
+  EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// --- callback timers -------------------------------------------------------
+
+struct CallbackRecorder {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> fired;  // (arg, t_ns)
+  Environment* env = nullptr;
+  static void Fire(void* ctx, std::uint64_t arg) {
+    auto* self = static_cast<CallbackRecorder*>(ctx);
+    self->fired.emplace_back(arg, self->env->Now().nanos());
+  }
+};
+
+TEST(EnvironmentTest, CallbackTimersFireInOrder) {
+  Environment env;
+  CallbackRecorder rec;
+  rec.env = &env;
+  env.ScheduleCallbackAt(TimePoint() + Duration::Micros(30),
+                         &CallbackRecorder::Fire, &rec, 3);
+  env.ScheduleCallbackAt(TimePoint() + Duration::Micros(10),
+                         &CallbackRecorder::Fire, &rec, 1);
+  env.ScheduleCallbackAt(TimePoint() + Duration::Micros(20),
+                         &CallbackRecorder::Fire, &rec, 2);
+  env.Run();
+  ASSERT_EQ(rec.fired.size(), 3u);
+  EXPECT_EQ(rec.fired[0], (std::pair<std::uint64_t, std::int64_t>{1, 10000}));
+  EXPECT_EQ(rec.fired[1], (std::pair<std::uint64_t, std::int64_t>{2, 20000}));
+  EXPECT_EQ(rec.fired[2], (std::pair<std::uint64_t, std::int64_t>{3, 30000}));
+}
+
+TEST(EnvironmentTest, CallbacksInterleaveWithCoroutines) {
+  Environment env;
+  CallbackRecorder rec;
+  rec.env = &env;
+  env.ScheduleCallbackAt(TimePoint() + Duration::Micros(15),
+                         &CallbackRecorder::Fire, &rec, 7);
+  bool saw_callback_before_resume = false;
+  env.Spawn([](Environment& e, CallbackRecorder& r, bool& out) -> Task {
+    co_await e.Delay(Duration::Micros(20));
+    out = r.fired.size() == 1;
+  }(env, rec, saw_callback_before_resume));
+  env.Run();
+  EXPECT_TRUE(saw_callback_before_resume);
+}
+
+TEST(EnvironmentTest, EventsExecutedCounts) {
+  Environment env;
+  env.Spawn([](Environment& e) -> Task {
+    for (int i = 0; i < 5; ++i) co_await e.Delay(Duration::Micros(1));
+  }(env));
+  env.Run();
+  // 1 spawn resume + 5 delay resumes.
+  EXPECT_EQ(env.events_executed(), 6u);
+}
+
+TEST(EnvironmentTest, ProcessNamesPreserved) {
+  Environment env;
+  auto p = env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Micros(1));
+  }(env), "my-process");
+  EXPECT_EQ(p.name(), "my-process");
+  env.Run();
+  EXPECT_TRUE(p.done());
+}
+
+TEST(EnvironmentTest, RunAfterRunUntilContinuesCleanly) {
+  Environment env;
+  CondVar cv(env);
+  int stage = 0;
+  env.Spawn([](Environment& e, CondVar& c, int& s) -> Task {
+    s = 1;
+    co_await c.Wait();
+    s = 2;
+    co_await e.Delay(Duration::Millis(1));
+    s = 3;
+  }(env, cv, stage));
+  env.RunUntil(TimePoint() + Duration::Micros(10));
+  EXPECT_EQ(stage, 1);
+  cv.NotifyAll();
+  env.Run();
+  EXPECT_EQ(stage, 3);
+}
+
+}  // namespace
+}  // namespace olympian::sim

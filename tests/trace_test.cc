@@ -1,0 +1,129 @@
+// Tests for the tracing subsystem (metrics/trace.h) and its integration
+// with the executor and scheduler.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string_view>
+
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "metrics/stats.h"
+#include "metrics/trace.h"
+#include "serving/server.h"
+
+namespace olympian::metrics {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(TracerTest, RecordsSpansAndInstants) {
+  Tracer t;
+  t.AddSpan("cat", "span-a", 3, TimePoint(), TimePoint() + Duration::Micros(5));
+  t.AddInstant("cat", "tick", 3, TimePoint() + Duration::Micros(2));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.full());
+}
+
+TEST(TracerTest, CapStopsRecording) {
+  Tracer t(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    t.AddSpan("c", "s", 0, TimePoint(), TimePoint() + Duration::Micros(1));
+  }
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.full());
+}
+
+TEST(TracerTest, ChromeJsonShape) {
+  Tracer t;
+  t.AddSpan("token", "job-\"0\"", -1, TimePoint() + Duration::Micros(1),
+            TimePoint() + Duration::Micros(4));
+  t.AddInstant("mark", "m", 2, TimePoint() + Duration::Micros(9));
+  std::ostringstream os;
+  t.WriteChromeTrace(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(out.find(R"("ph":"i")"), std::string::npos);
+  EXPECT_NE(out.find(R"("tid":-1)"), std::string::npos);
+  EXPECT_NE(out.find(R"("dur":3)"), std::string::npos);
+  // Quotes in names are escaped.
+  EXPECT_NE(out.find(R"(job-\"0\")"), std::string::npos);
+}
+
+TEST(TracerTest, OverflowPerSwitchIsBounded) {
+  // Paper Figure 10: when the token moves, only the handful of nodes whose
+  // kernels were already launched finish under the new tenure (typically
+  // 2-3 per context switch). Count, for each token tenure, how many
+  // *other* jobs' GPU-node spans end inside it.
+  core::Profiler profiler;
+  const auto profile = profiler.ProfileModel("resnet-152", 48);
+
+  Tracer tracer(400000);
+  serving::ServerOptions opts;
+  opts.seed = 19;
+  opts.executor.tracer = &tracer;
+  serving::Experiment exp(opts);
+  core::Scheduler sched(exp.env(), exp.gpu(),
+                        std::make_unique<core::FairPolicy>());
+  sched.SetProfile(profile.key, &profile.cost,
+                   core::Profiler::ThresholdFor(profile, Duration::Micros(1500)));
+  exp.SetHooks(&sched);
+  exp.Run(std::vector<serving::ClientSpec>(
+      2, {.model = "resnet-152", .batch = 48, .num_batches = 1}));
+
+  const auto& quanta = sched.quantum_log();
+  ASSERT_GT(quanta.size(), 10u);
+
+  // For each tenure, count GPU-node spans of the *other* job that end
+  // strictly inside it — those are overflow completions.
+  Series overflow_per_switch;
+  for (const auto& q : quanta) {
+    int foreign_ends = 0;
+    for (const auto& e : tracer.events()) {
+      if (std::string_view(e.category) != "gpu-node") continue;
+      if (e.track == q.job) continue;
+      const std::int64_t end_ns = e.start_ns + e.dur_ns;
+      if (end_ns > q.start.nanos() && end_ns <= q.end.nanos()) {
+        ++foreign_ends;
+      }
+    }
+    overflow_per_switch.Add(foreign_ends);
+  }
+  // The paper observes ~2-3 overflow nodes per context switch; with two
+  // streams per job the bound here is small and the typical case tiny.
+  EXPECT_LE(overflow_per_switch.Mean(), 6.0);
+  EXPECT_LE(overflow_per_switch.Percentile(95), 10.0);
+}
+
+TEST(TracerTest, EndToEndCapturesTokenAndNodeSpans) {
+  core::Profiler profiler;
+  const auto profile = profiler.ProfileModel("resnet-152", 20);
+
+  Tracer tracer(50000);
+  serving::ServerOptions opts;
+  opts.executor.tracer = &tracer;
+  serving::Experiment exp(opts);
+  core::Scheduler::Options sopts;
+  sopts.tracer = &tracer;
+  core::Scheduler sched(exp.env(), exp.gpu(),
+                        std::make_unique<core::FairPolicy>(), sopts);
+  sched.SetProfile(profile.key, &profile.cost,
+                   core::Profiler::ThresholdFor(profile, Duration::Micros(800)));
+  exp.SetHooks(&sched);
+  exp.Run(std::vector<serving::ClientSpec>(
+      2, {.model = "resnet-152", .batch = 20, .num_batches = 1}));
+
+  EXPECT_GT(tracer.size(), 100u);
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"token\""), std::string::npos);
+  EXPECT_NE(out.find("\"gpu-node\""), std::string::npos);
+  EXPECT_NE(out.find("\"cpu-node\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olympian::metrics
