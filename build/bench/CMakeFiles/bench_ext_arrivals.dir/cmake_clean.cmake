@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_arrivals.dir/bench_ext_arrivals.cc.o"
+  "CMakeFiles/bench_ext_arrivals.dir/bench_ext_arrivals.cc.o.d"
+  "bench_ext_arrivals"
+  "bench_ext_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

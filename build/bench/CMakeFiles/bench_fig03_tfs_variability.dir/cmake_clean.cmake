@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_tfs_variability.dir/bench_fig03_tfs_variability.cc.o"
+  "CMakeFiles/bench_fig03_tfs_variability.dir/bench_fig03_tfs_variability.cc.o.d"
+  "bench_fig03_tfs_variability"
+  "bench_fig03_tfs_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_tfs_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_node_durations.dir/bench_fig04_node_durations.cc.o"
+  "CMakeFiles/bench_fig04_node_durations.dir/bench_fig04_node_durations.cc.o.d"
+  "bench_fig04_node_durations"
+  "bench_fig04_node_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_node_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

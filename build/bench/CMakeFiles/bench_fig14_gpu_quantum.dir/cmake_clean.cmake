@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_gpu_quantum.dir/bench_fig14_gpu_quantum.cc.o"
+  "CMakeFiles/bench_fig14_gpu_quantum.dir/bench_fig14_gpu_quantum.cc.o.d"
+  "bench_fig14_gpu_quantum"
+  "bench_fig14_gpu_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_gpu_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

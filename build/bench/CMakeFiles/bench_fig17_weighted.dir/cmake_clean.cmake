@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_weighted.dir/bench_fig17_weighted.cc.o"
+  "CMakeFiles/bench_fig17_weighted.dir/bench_fig17_weighted.cc.o.d"
+  "bench_fig17_weighted"
+  "bench_fig17_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

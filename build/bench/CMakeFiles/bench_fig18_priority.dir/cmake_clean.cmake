@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_priority.dir/bench_fig18_priority.cc.o"
+  "CMakeFiles/bench_fig18_priority.dir/bench_fig18_priority.cc.o.d"
+  "bench_fig18_priority"
+  "bench_fig18_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_cpu_timer.dir/bench_fig19_cpu_timer.cc.o"
+  "CMakeFiles/bench_fig19_cpu_timer.dir/bench_fig19_cpu_timer.cc.o.d"
+  "bench_fig19_cpu_timer"
+  "bench_fig19_cpu_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_cpu_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

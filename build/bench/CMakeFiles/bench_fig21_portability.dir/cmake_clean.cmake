@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_portability.dir/bench_fig21_portability.cc.o"
+  "CMakeFiles/bench_fig21_portability.dir/bench_fig21_portability.cc.o.d"
+  "bench_fig21_portability"
+  "bench_fig21_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_util_scaling.dir/bench_util_scaling.cc.o"
+  "CMakeFiles/bench_util_scaling.dir/bench_util_scaling.cc.o.d"
+  "bench_util_scaling"
+  "bench_util_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_util_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympian_bench_common.dir/harness.cc.o"
+  "CMakeFiles/olympian_bench_common.dir/harness.cc.o.d"
+  "libolympian_bench_common.a"
+  "libolympian_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympian_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libolympian_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_sla.dir/latency_sla.cpp.o"
+  "CMakeFiles/latency_sla.dir/latency_sla.cpp.o.d"
+  "latency_sla"
+  "latency_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_serving.dir/multi_tenant_serving.cpp.o"
+  "CMakeFiles/multi_tenant_serving.dir/multi_tenant_serving.cpp.o.d"
+  "multi_tenant_serving"
+  "multi_tenant_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

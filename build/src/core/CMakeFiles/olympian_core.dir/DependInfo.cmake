@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/olympian_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/olympian_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/profile_store.cc" "src/core/CMakeFiles/olympian_core.dir/profile_store.cc.o" "gcc" "src/core/CMakeFiles/olympian_core.dir/profile_store.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/olympian_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/olympian_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/olympian_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/olympian_core.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/olympian_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/olympian_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/olympian_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/olympian_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/olympian_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/olympian_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympian_core.dir/policy.cc.o"
+  "CMakeFiles/olympian_core.dir/policy.cc.o.d"
+  "CMakeFiles/olympian_core.dir/profile_store.cc.o"
+  "CMakeFiles/olympian_core.dir/profile_store.cc.o.d"
+  "CMakeFiles/olympian_core.dir/profiler.cc.o"
+  "CMakeFiles/olympian_core.dir/profiler.cc.o.d"
+  "CMakeFiles/olympian_core.dir/scheduler.cc.o"
+  "CMakeFiles/olympian_core.dir/scheduler.cc.o.d"
+  "libolympian_core.a"
+  "libolympian_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympian_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

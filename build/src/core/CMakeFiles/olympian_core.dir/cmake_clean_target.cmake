@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libolympian_core.a"
+)

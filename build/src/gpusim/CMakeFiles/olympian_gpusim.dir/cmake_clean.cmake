@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympian_gpusim.dir/gpu.cc.o"
+  "CMakeFiles/olympian_gpusim.dir/gpu.cc.o.d"
+  "libolympian_gpusim.a"
+  "libolympian_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympian_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/executor.cc" "src/graph/CMakeFiles/olympian_graph.dir/executor.cc.o" "gcc" "src/graph/CMakeFiles/olympian_graph.dir/executor.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/olympian_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/olympian_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/thread_pool.cc" "src/graph/CMakeFiles/olympian_graph.dir/thread_pool.cc.o" "gcc" "src/graph/CMakeFiles/olympian_graph.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/olympian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/olympian_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/olympian_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympian_graph.dir/executor.cc.o"
+  "CMakeFiles/olympian_graph.dir/executor.cc.o.d"
+  "CMakeFiles/olympian_graph.dir/graph.cc.o"
+  "CMakeFiles/olympian_graph.dir/graph.cc.o.d"
+  "CMakeFiles/olympian_graph.dir/thread_pool.cc.o"
+  "CMakeFiles/olympian_graph.dir/thread_pool.cc.o.d"
+  "libolympian_graph.a"
+  "libolympian_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympian_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for olympian_graph.
+# This may be replaced when dependencies are built.

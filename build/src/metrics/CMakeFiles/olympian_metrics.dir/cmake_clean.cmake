@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympian_metrics.dir/stats.cc.o"
+  "CMakeFiles/olympian_metrics.dir/stats.cc.o.d"
+  "CMakeFiles/olympian_metrics.dir/table.cc.o"
+  "CMakeFiles/olympian_metrics.dir/table.cc.o.d"
+  "CMakeFiles/olympian_metrics.dir/trace.cc.o"
+  "CMakeFiles/olympian_metrics.dir/trace.cc.o.d"
+  "libolympian_metrics.a"
+  "libolympian_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympian_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

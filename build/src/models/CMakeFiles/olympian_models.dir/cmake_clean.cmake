@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympian_models.dir/model_zoo.cc.o"
+  "CMakeFiles/olympian_models.dir/model_zoo.cc.o.d"
+  "libolympian_models.a"
+  "libolympian_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympian_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympian_serving.dir/batcher.cc.o"
+  "CMakeFiles/olympian_serving.dir/batcher.cc.o.d"
+  "CMakeFiles/olympian_serving.dir/server.cc.o"
+  "CMakeFiles/olympian_serving.dir/server.cc.o.d"
+  "CMakeFiles/olympian_serving.dir/workload_spec.cc.o"
+  "CMakeFiles/olympian_serving.dir/workload_spec.cc.o.d"
+  "libolympian_serving.a"
+  "libolympian_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympian_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

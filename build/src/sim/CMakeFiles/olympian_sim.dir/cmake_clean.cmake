@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olympian_sim.dir/environment.cc.o"
+  "CMakeFiles/olympian_sim.dir/environment.cc.o.d"
+  "CMakeFiles/olympian_sim.dir/random.cc.o"
+  "CMakeFiles/olympian_sim.dir/random.cc.o.d"
+  "CMakeFiles/olympian_sim.dir/time.cc.o"
+  "CMakeFiles/olympian_sim.dir/time.cc.o.d"
+  "libolympian_sim.a"
+  "libolympian_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olympian_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

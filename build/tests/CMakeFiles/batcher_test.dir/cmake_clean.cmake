@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batcher_test.dir/batcher_test.cc.o"
+  "CMakeFiles/batcher_test.dir/batcher_test.cc.o.d"
+  "batcher_test"
+  "batcher_test.pdb"
+  "batcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

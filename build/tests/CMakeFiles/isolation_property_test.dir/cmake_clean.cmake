@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_property_test.dir/isolation_property_test.cc.o"
+  "CMakeFiles/isolation_property_test.dir/isolation_property_test.cc.o.d"
+  "isolation_property_test"
+  "isolation_property_test.pdb"
+  "isolation_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serving_test.cc" "tests/CMakeFiles/serving_test.dir/serving_test.cc.o" "gcc" "tests/CMakeFiles/serving_test.dir/serving_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/olympian_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/olympian_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/olympian_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/olympian_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/olympian_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/olympian_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/olympian_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

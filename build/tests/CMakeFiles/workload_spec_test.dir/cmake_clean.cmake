@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_spec_test.dir/workload_spec_test.cc.o"
+  "CMakeFiles/workload_spec_test.dir/workload_spec_test.cc.o.d"
+  "workload_spec_test"
+  "workload_spec_test.pdb"
+  "workload_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
