@@ -70,10 +70,15 @@ sim::Task Scheduler::Yield(graph::JobContext& ctx) {
   // loop guards against wakeups that race with a further rotation. A thread
   // woken after suspension pays the OS resume latency before it can launch
   // work — the per-switch cost that shapes the Overhead-Q curve.
+  //
+  // A cancelled run returns immediately instead of re-waiting: CancelRun
+  // wakes the gang precisely so these threads fall through here, observe
+  // the cancellation at the node boundary, and release their pool workers.
   sim::CondVar& cv = JobCv(ctx.job);
   for (;;) {
     bool suspended = false;
     while (token_ != ctx.job) {
+      if (ctx.cancel != nullptr && ctx.cancel->cancelled) co_return;
       suspended = true;
       co_await cv.Wait();
     }
@@ -82,8 +87,24 @@ sim::Task Scheduler::Yield(graph::JobContext& ctx) {
       co_await env_.Delay(
           rng_.Jitter(options_.resume_latency, options_.resume_jitter));
     }
+    if (ctx.cancel != nullptr && ctx.cancel->cancelled) co_return;
     if (token_ == ctx.job) co_return;  // else: lost the token while waking
   }
+}
+
+void Scheduler::CancelRun(graph::JobContext& ctx) {
+  ++cancellations_;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].id == ctx.job) {
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  // Rotating away from a cancelled token holder must land on a live job (or
+  // kNoJob), never leak the grant back to the departed gang.
+  if (token_ == ctx.job) Rotate(ctx.job);
+  const auto it = job_cvs_.find(ctx.job);
+  if (it != job_cvs_.end()) it->second->NotifyAll();
 }
 
 void Scheduler::OnNodeComputed(graph::JobContext& ctx,

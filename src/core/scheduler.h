@@ -89,10 +89,16 @@ class Scheduler : public graph::SchedulingHooks {
   }
   sim::Task Yield(graph::JobContext& ctx) override;
   void OnNodeComputed(graph::JobContext& ctx, const graph::Node& node) override;
+  // Cancellation path (deadline / fault): deregisters the job, rotates the
+  // token to a live job if the cancelled gang held it, and wakes the gang's
+  // suspended threads so they observe the cancellation and drain rather
+  // than holding pool threads forever. Idempotent.
+  void CancelRun(graph::JobContext& ctx) override;
 
   // --- introspection -----------------------------------------------------
   gpusim::JobId token() const { return token_; }
   std::uint64_t switches() const { return switches_; }
+  std::uint64_t cancellations() const { return cancellations_; }
   std::uint64_t quanta_completed() const { return quanta_completed_; }
   const std::vector<QuantumRecord>& quantum_log() const { return quantum_log_; }
   const SchedulingPolicy& policy() const { return *policy_; }
@@ -128,6 +134,7 @@ class Scheduler : public graph::SchedulingHooks {
   sim::Duration tenure_gpu_start_;
 
   std::uint64_t switches_ = 0;
+  std::uint64_t cancellations_ = 0;
   std::uint64_t quanta_completed_ = 0;
   std::vector<QuantumRecord> quantum_log_;
 };

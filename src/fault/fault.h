@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpu.h"
+#include "metrics/counters.h"
+#include "metrics/trace.h"
+#include "sim/environment.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace olympian::fault {
+
+// What goes wrong. All faults are device-level; the serving layers above
+// convert them into per-request outcomes (timed_out / failed_retried / ...).
+enum class FaultKind : std::uint8_t {
+  // The next kernel to retire on `stream` of device `gpu_index` retires
+  // with an error (a launch/exec failure attributed to one kernel).
+  kKernelFailure,
+  // The device's driver stops issuing work for `duration`; in-flight waves
+  // complete, queued kernels wait (a wedged channel, recovered by watchdog).
+  kDeviceHang,
+  // Full device reset: all queued kernels fail immediately, executing
+  // kernels fail as their in-flight waves drain.
+  kDeviceReset,
+  // AllocateMemory on the device fails transiently for `duration`.
+  kAllocFault,
+};
+
+const char* ToString(FaultKind kind);
+
+// One scheduled fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDeviceHang;
+  sim::TimePoint at;
+  std::size_t gpu_index = 0;
+  gpusim::StreamId stream = -1;  // kKernelFailure only
+  sim::Duration duration;        // kDeviceHang / kAllocFault only
+};
+
+// A declarative schedule of faults on the virtual clock. Build one with the
+// fluent adders (chainable) or generate one stochastically — but
+// deterministically — from a seed with `Random`. The plan is pure data; the
+// FaultInjector applies it to live devices.
+class FaultPlan {
+ public:
+  FaultPlan& KernelFailure(sim::TimePoint at, gpusim::StreamId stream,
+                           std::size_t gpu_index = 0);
+  FaultPlan& DeviceHang(sim::TimePoint at, sim::Duration duration,
+                        std::size_t gpu_index = 0);
+  FaultPlan& DeviceReset(sim::TimePoint at, std::size_t gpu_index = 0);
+  FaultPlan& AllocFault(sim::TimePoint at, sim::Duration duration,
+                        std::size_t gpu_index = 0);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // Expected fault counts over a horizon; Poisson arrivals per kind.
+  struct RandomOptions {
+    sim::Duration horizon = sim::Duration::Seconds(10.0);
+    std::size_t num_gpus = 1;
+    // Streams to target for kernel failures (round-robin over [0, n)).
+    std::int64_t streams_per_gpu = 2;
+    double expected_kernel_failures = 0.0;
+    double expected_hangs = 0.0;
+    sim::Duration mean_hang = sim::Duration::Millis(20);
+    double expected_resets = 0.0;
+    double expected_alloc_faults = 0.0;
+    sim::Duration mean_alloc_window = sim::Duration::Millis(10);
+  };
+
+  // Draw a plan from `seed`: same seed, same plan, bit-for-bit — fault
+  // injection must never break the simulator's reproducibility guarantee.
+  static FaultPlan Random(const RandomOptions& options, std::uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Applies a FaultPlan to live devices at the scheduled virtual times.
+// Construct it after the Environment and Gpus, then call Arm() before (or
+// during) the run; events before the current time are dropped. Counters and
+// tracer spans (on metrics::Tracer::kFaultTrack) are optional.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Environment& env, std::vector<gpusim::Gpu*> gpus,
+                FaultPlan plan, metrics::ServingCounters* counters = nullptr,
+                metrics::Tracer* tracer = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedule every future event of the plan on the virtual clock.
+  void Arm();
+
+  std::uint64_t events_applied() const { return events_applied_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void Apply(const FaultEvent& e);
+  static void Trampoline(void* ctx, std::uint64_t index);
+
+  sim::Environment& env_;
+  std::vector<gpusim::Gpu*> gpus_;
+  FaultPlan plan_;
+  metrics::ServingCounters* counters_;
+  metrics::Tracer* tracer_;
+  bool armed_ = false;
+  std::uint64_t events_applied_ = 0;
+};
+
+}  // namespace olympian::fault

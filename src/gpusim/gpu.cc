@@ -37,7 +37,7 @@ StreamId Gpu::CreateStream() {
 }
 
 void Gpu::Enqueue(StreamId stream, const KernelDesc& desc,
-                  std::coroutine_handle<> waiter) {
+                  std::coroutine_handle<> waiter, bool* failed_out) {
   if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
     throw std::out_of_range("Submit to unknown stream");
   }
@@ -52,6 +52,7 @@ void Gpu::Enqueue(StreamId stream, const KernelDesc& desc,
   k->blocks_left = desc.thread_blocks;
   k->exclusive = desc.thread_blocks >= options_.spec.total_block_slots();
   k->waiter = waiter;
+  k->failed_out = failed_out;
   Stream& s = *streams_[stream];
   s.queue.push_back(std::move(k));
   if (StreamReady(s)) MarkReady(stream);
@@ -72,6 +73,7 @@ void Gpu::MarkReady(StreamId id) {
 
 void Gpu::Dispatch() {
   if (dispatching_) return;  // re-entrancy guard (Enqueue during callbacks)
+  if (hung_) return;         // wedged driver: issue nothing until the hang ends
   dispatching_ = true;
   while (free_slots_ > 0) {
     Stream* cur =
@@ -215,15 +217,86 @@ void Gpu::OnWaveDone(std::uint64_t wave_slot) {
   busy_.OnEnd(now);
 
   if (k->blocks_left == 0 && k->in_flight == 0) {
-    // Kernel retired: wake the submitting CPU thread, unblock the stream.
-    ++kernels_completed_;
-    const std::coroutine_handle<> waiter = k->waiter;
-    Stream* s = w.stream;
-    s->active.reset();  // destroys k
-    if (!s->queue.empty()) MarkReady(s->id);
-    if (waiter) env_.ScheduleNow(waiter);
+    RetireKernel(*w.stream);
   }
   Dispatch();
+}
+
+void Gpu::RetireKernel(Stream& s) {
+  // Retire s.active: wake the submitting CPU thread, unblock the stream.
+  Kernel* k = s.active.get();
+  if (s.fail_next) {
+    k->failed = true;
+    s.fail_next = false;
+  }
+  if (k->failed) {
+    ++kernels_failed_;
+    if (k->failed_out != nullptr) *k->failed_out = true;
+  } else {
+    ++kernels_completed_;
+  }
+  const std::coroutine_handle<> waiter = k->waiter;
+  s.active.reset();  // destroys k
+  if (!s.queue.empty()) MarkReady(s.id);
+  if (waiter) env_.ScheduleNow(waiter);
+}
+
+void Gpu::InjectKernelFailure(StreamId stream) {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw std::out_of_range("InjectKernelFailure on unknown stream");
+  }
+  streams_[static_cast<std::size_t>(stream)]->fail_next = true;
+}
+
+void Gpu::Hang(sim::Duration d) {
+  const sim::TimePoint until = env_.Now() + d;
+  if (until > hang_until_) hang_until_ = until;
+  hung_ = true;
+  env_.ScheduleCallbackAt(hang_until_, &Gpu::HangTrampoline, this, 0);
+}
+
+void Gpu::HangTrampoline(void* ctx, std::uint64_t arg) {
+  (void)arg;
+  auto* self = static_cast<Gpu*>(ctx);
+  if (!self->hung_) return;
+  if (self->env_.Now() < self->hang_until_) return;  // extended meanwhile
+  self->hung_ = false;
+  self->Dispatch();
+}
+
+void Gpu::Reset() {
+  ++resets_;
+  hung_ = false;
+  hang_until_ = env_.Now();
+  for (auto& sp : streams_) {
+    Stream& s = *sp;
+    // Queued (never started) kernels fail immediately.
+    for (auto& k : s.queue) {
+      ++kernels_failed_;
+      if (k->failed_out != nullptr) *k->failed_out = true;
+      if (k->waiter) env_.ScheduleNow(k->waiter);
+    }
+    s.queue.clear();
+    if (s.active) {
+      // An executing kernel issues no further waves and retires failed once
+      // the waves already on the SMs drain (the reset does not rewind time
+      // for work in flight).
+      Kernel* k = s.active.get();
+      k->failed = true;
+      k->blocks_left = 0;
+      if (k->in_flight == 0) RetireKernel(s);
+    }
+  }
+  Dispatch();
+}
+
+void Gpu::InjectAllocFault(sim::Duration d) {
+  const sim::TimePoint until = env_.Now() + d;
+  if (until > alloc_fault_until_) alloc_fault_until_ = until;
+}
+
+bool Gpu::alloc_fault_active() const {
+  return env_.Now() < alloc_fault_until_;
 }
 
 void Gpu::NoteOccupancyChange(std::int64_t delta) {
@@ -274,6 +347,12 @@ double Gpu::MeanPowerWatts() const {
 }
 
 void Gpu::AllocateMemory(JobId job, std::int64_t mb) {
+  if (alloc_fault_active()) {
+    throw TransientAllocFailure("transient allocation failure: job " +
+                                std::to_string(job) + " requested " +
+                                std::to_string(mb) + " MB during a fault "
+                                "window on " + options_.spec.name);
+  }
   if (memory_used_mb_ + mb > options_.spec.memory_mb) {
     throw OutOfDeviceMemory("GPU out of memory: job " + std::to_string(job) +
                             " requested " + std::to_string(mb) + " MB, " +

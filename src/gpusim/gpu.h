@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +19,21 @@ namespace olympian::gpusim {
 
 // Thrown when a memory reservation exceeds device capacity (§4.3 scaling).
 struct OutOfDeviceMemory : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown at the Submit await site when a kernel retires with an error — an
+// injected launch failure or a device reset that killed it. Recoverable:
+// the serving layer converts it into a per-request failure and may retry.
+struct KernelFailed : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown by AllocateMemory while an injected transient-allocation-fault
+// window is active. Distinct from OutOfDeviceMemory: the device has room,
+// the driver just failed the call (cudaMalloc flaking under fragmentation
+// or ECC scrub); callers should retry after a backoff.
+struct TransientAllocFailure : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
@@ -67,19 +84,54 @@ class Gpu {
   StreamId CreateStream();
 
   // Awaitable kernel submission: suspends the caller until completion.
+  // Throws KernelFailed at the await site if the kernel retires with an
+  // error (injected failure or device reset).
   auto Submit(StreamId stream, KernelDesc desc) {
     struct Awaiter {
       Gpu* gpu;
       StreamId stream;
       KernelDesc desc;
+      bool failed = false;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        gpu->Enqueue(stream, desc, h);
+        gpu->Enqueue(stream, desc, h, &failed);
       }
-      void await_resume() const noexcept {}
+      void await_resume() const {
+        if (failed) {
+          throw KernelFailed("kernel failed on stream " +
+                             std::to_string(stream) + " (job " +
+                             std::to_string(desc.job) + ")");
+        }
+      }
     };
     return Awaiter{this, stream, desc};
   }
+
+  // --- fault injection --------------------------------------------------
+  //
+  // Driven by fault::FaultInjector on the virtual clock; all effects are
+  // deterministic functions of the call sequence.
+
+  // Arm a one-shot failure on `stream`: the next kernel to retire on it
+  // (including one already executing) retires with an error.
+  void InjectKernelFailure(StreamId stream);
+
+  // Driver hang: stop issuing new waves for `d`. In-flight waves complete
+  // (the SMs are fine; the channel feeding them is wedged). Overlapping
+  // hangs extend to the furthest end point.
+  void Hang(sim::Duration d);
+
+  // Full device reset: every queued kernel fails immediately and every
+  // executing kernel fails as its in-flight waves drain. Clears any hang.
+  // Memory reservations survive (the serving layer owns that lifecycle).
+  void Reset();
+
+  // Open a transient-allocation-fault window: AllocateMemory throws
+  // TransientAllocFailure until `d` elapses. Overlapping windows extend.
+  void InjectAllocFault(sim::Duration d);
+
+  bool hung() const { return hung_; }
+  bool alloc_fault_active() const;
 
   // --- memory accounting ----------------------------------------------
 
@@ -109,6 +161,8 @@ class Gpu {
   double MeanPowerWatts() const;
 
   std::uint64_t kernels_completed() const { return kernels_completed_; }
+  std::uint64_t kernels_failed() const { return kernels_failed_; }
+  std::uint64_t resets() const { return resets_; }
   std::uint64_t waves_dispatched() const { return waves_dispatched_; }
   std::int64_t free_slots() const { return free_slots_; }
   bool idle() const { return busy_.depth() == 0; }
@@ -123,7 +177,10 @@ class Gpu {
     // This is the paper's §2.3 regime — no spatial multiplexing across
     // requests at production batch sizes.
     bool exclusive = false;
+    // Set by fault injection; reported to the submitter at retirement.
+    bool failed = false;
     std::coroutine_handle<> waiter;
+    bool* failed_out = nullptr;  // points into the submitter's awaiter frame
   };
 
   struct Stream {
@@ -131,6 +188,8 @@ class Gpu {
     std::deque<std::unique_ptr<Kernel>> queue;
     std::unique_ptr<Kernel> active;  // at most one kernel executing per stream
     bool in_ready_list = false;
+    // One-shot injected fault: fail the next kernel retiring on this stream.
+    bool fail_next = false;
     // Persistent arbitration weight (channel-assignment luck).
     double arb_weight = 1.0;
   };
@@ -143,12 +202,14 @@ class Gpu {
   };
 
   void Enqueue(StreamId stream, const KernelDesc& desc,
-               std::coroutine_handle<> waiter);
+               std::coroutine_handle<> waiter, bool* failed_out);
   void Dispatch();
   bool StreamReady(const Stream& s) const;
   void MarkReady(StreamId id);
   void OnWaveDone(std::uint64_t wave_slot);
+  void RetireKernel(Stream& s);  // s.active retired (ok or failed)
   static void WaveTrampoline(void* ctx, std::uint64_t arg);
+  static void HangTrampoline(void* ctx, std::uint64_t arg);
   void NoteOccupancyChange(std::int64_t delta);
   metrics::BusyMeter& JobMeter(JobId job);
 
@@ -174,8 +235,15 @@ class Gpu {
 
   std::int64_t memory_used_mb_ = 0;
   std::uint64_t kernels_completed_ = 0;
+  std::uint64_t kernels_failed_ = 0;
+  std::uint64_t resets_ = 0;
   std::uint64_t waves_dispatched_ = 0;
   bool dispatching_ = false;
+
+  // Fault-injection state.
+  bool hung_ = false;
+  sim::TimePoint hang_until_;
+  sim::TimePoint alloc_fault_until_;
 };
 
 }  // namespace olympian::gpusim

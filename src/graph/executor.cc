@@ -52,6 +52,14 @@ sim::Task Executor::RunOnceImpl(JobContext& ctx, const Graph& graph,
   ++runs_completed_;
 }
 
+void Executor::NotifyCancel(JobContext& ctx) {
+  if (hooks_ != nullptr && ctx.cancel != nullptr &&
+      !ctx.cancel->hooks_notified) {
+    ctx.cancel->hooks_notified = true;
+    hooks_->CancelRun(ctx);
+  }
+}
+
 sim::Task Executor::Process(JobContext& ctx, RunState& st, NodeId start) {
   std::deque<NodeId> bfs_queue;
   bfs_queue.push_back(start);
@@ -60,25 +68,37 @@ sim::Task Executor::Process(JobContext& ctx, RunState& st, NodeId start) {
     bfs_queue.pop_front();
     const Node& node = st.graph->node(nid);
 
-    // Algorithm 2, line 12: cooperative yield point. With no hooks this is
-    // stock TF-Serving (Algorithm 1).
-    if (hooks_ != nullptr && hooks_->NeedsYield(ctx)) {
-      co_await hooks_->Yield(ctx);
+    bool cancelled = IsCancelled(ctx);
+    if (!cancelled) {
+      // Algorithm 2, line 12: cooperative yield point. With no hooks this is
+      // stock TF-Serving (Algorithm 1).
+      if (hooks_ != nullptr && hooks_->NeedsYield(ctx)) {
+        co_await hooks_->Yield(ctx);
+        cancelled = IsCancelled(ctx);  // run may have been cancelled waiting
+      }
     }
+    if (!cancelled) {
+      co_await Compute(ctx, st, node);
+      // A kernel failure inside Compute, or a deadline elapsing while the
+      // kernel was in flight, cancels the run mid-node.
+      cancelled = IsCancelled(ctx);
+      // Algorithm 2, lines 14-18: cost accrual / token rotation.
+      if (!cancelled && hooks_ != nullptr) hooks_->OnNodeComputed(ctx, node);
+      ++nodes_executed_;
+    } else {
+      ++nodes_cancelled_;
+    }
+    if (cancelled) NotifyCancel(ctx);
 
-    co_await Compute(ctx, st, node);
-
-    // Algorithm 2, lines 14-18: cost accrual / token rotation.
-    if (hooks_ != nullptr) hooks_->OnNodeComputed(ctx, node);
-
-    ++nodes_executed_;
     --st.remaining;
     if (st.remaining == 0) st.all_done.NotifyAll();
 
     for (const NodeId child : node.outputs) {
       if (--st.pending[static_cast<std::size_t>(child)] == 0) {
-        if (!st.graph->node(child).is_gpu()) {
-          bfs_queue.push_back(child);  // synchronous: continue on this thread
+        if (cancelled || !st.graph->node(child).is_gpu()) {
+          // Synchronous — or cancelled, in which case the rest of the graph
+          // drains inline as no-ops without touching the pool.
+          bfs_queue.push_back(child);
         } else {
           // Asynchronous: fetch a pool thread to continue from this node
           // (Algorithm 1, lines 13-15). &ctx and &st outlive the item: the
@@ -109,13 +129,21 @@ sim::Task Executor::Compute(JobContext& ctx, RunState& st, const Node& node) {
       work = work * options_.profiler_kernel_slowdown;
     }
     if (options_.gpu_jitter > 0.0) work = rng_.Jitter(work, options_.gpu_jitter);
-    co_await gpu_.Submit(stream,
-                         gpusim::KernelDesc{
-                             .job = ctx.job,
-                             .node_id = node.id,
-                             .thread_blocks = node.BlocksFor(ctx.batch),
-                             .block_work = work,
-                         });
+    try {
+      co_await gpu_.Submit(stream,
+                           gpusim::KernelDesc{
+                               .job = ctx.job,
+                               .node_id = node.id,
+                               .thread_blocks = node.BlocksFor(ctx.batch),
+                               .block_work = work,
+                           });
+    } catch (const gpusim::KernelFailed&) {
+      // With a cancellation token installed the failure degrades gracefully:
+      // the run is marked failed and drains, and the serving layer decides
+      // whether to retry. Without one (manual drivers), stay fail-stop.
+      if (ctx.cancel == nullptr) throw;
+      ctx.cancel->Cancel(CancelReason::kKernelFailed);
+    }
   }
 
   if (st.profile != nullptr) {

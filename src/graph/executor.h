@@ -69,6 +69,8 @@ class Executor {
 
   std::uint64_t runs_completed() const { return runs_completed_; }
   std::uint64_t nodes_executed() const { return nodes_executed_; }
+  // Nodes skipped because their run was cancelled (deadline / fault).
+  std::uint64_t nodes_cancelled() const { return nodes_cancelled_; }
 
  private:
   struct RunState {
@@ -86,6 +88,12 @@ class Executor {
   sim::Task Process(JobContext& ctx, RunState& st, NodeId start);
   sim::Task Compute(JobContext& ctx, RunState& st, const Node& node);
 
+  static bool IsCancelled(const JobContext& ctx) {
+    return ctx.cancel != nullptr && ctx.cancel->cancelled;
+  }
+  // One-shot hook notification on the first observation of cancellation.
+  void NotifyCancel(JobContext& ctx);
+
   sim::Environment& env_;
   gpusim::Gpu& gpu_;
   ThreadPool& pool_;
@@ -94,6 +102,7 @@ class Executor {
   SchedulingHooks* hooks_;
   std::uint64_t runs_completed_ = 0;
   std::uint64_t nodes_executed_ = 0;
+  std::uint64_t nodes_cancelled_ = 0;
 };
 
 }  // namespace olympian::graph

@@ -10,6 +10,37 @@
 
 namespace olympian::graph {
 
+// Why a run was cancelled mid-flight.
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kDeadline,      // the request's deadline elapsed
+  kKernelFailed,  // a GPU kernel retired with an error (fault injection)
+};
+
+// Per-request cancellation token. The issuer (serving layer) points
+// `JobContext::cancel` at one of these for the duration of a run; the
+// executor checks it at every node boundary and the scheduler checks it
+// when deciding whether a suspended gang thread should keep waiting for
+// the token. Cancellation is cooperative and sticky: once set, the run
+// drains its remaining nodes as no-ops and completes promptly.
+struct CancelToken {
+  bool cancelled = false;
+  // Set by the issuer once the run has completed (drained); lets a stale
+  // deadline watchdog recognize that its request already finished.
+  bool finished = false;
+  // True once the scheduling hooks have been told (CancelRun); guards
+  // against double notification from racing observers.
+  bool hooks_notified = false;
+  CancelReason reason = CancelReason::kNone;
+
+  void Cancel(CancelReason r) {
+    if (!cancelled) {
+      cancelled = true;
+      reason = r;
+    }
+  }
+};
+
 // Everything the executor and scheduler need to know about one job — the
 // equivalent of the paper's `SessRunInfo`. One JobContext is created per
 // client and reused across that client's sequential batch runs.
@@ -30,6 +61,10 @@ struct JobContext {
   // GPU streams assigned to this job, used round-robin across its nodes.
   std::vector<gpusim::StreamId> streams;
   std::size_t next_stream = 0;
+  // Cancellation token of the in-flight run, or nullptr when the run is
+  // not cancellable. Owned by the issuer; valid only while the run is in
+  // flight (reset between runs).
+  CancelToken* cancel = nullptr;
 };
 
 // The Olympian patch point inside the TF session loop.
@@ -57,6 +92,14 @@ class SchedulingHooks {
   // Algorithm 2, lines 14-18: called after a node computes; accrues the
   // node's profiled cost and rotates the token when the quantum expires.
   virtual void OnNodeComputed(JobContext& ctx, const Node& node) = 0;
+
+  // Called once when `ctx`'s in-flight run is cancelled (deadline or
+  // fault). Implementations must release any grant the job holds (rotating
+  // it to a live job) and wake the job's suspended gang threads so they can
+  // observe the cancellation and drain — a cancelled gang must not strand
+  // threads in the pool. Idempotent; default is a no-op (stock TF-Serving
+  // has no scheduler state to release).
+  virtual void CancelRun(JobContext& ctx) { (void)ctx; }
 };
 
 }  // namespace olympian::graph

@@ -1,0 +1,32 @@
+#include "metrics/counters.h"
+
+#include <ostream>
+
+namespace olympian::metrics {
+
+namespace {
+void Row(std::ostream& os, const char* name, std::uint64_t v) {
+  if (v != 0) os << "  " << name << " " << v << "\n";
+}
+}  // namespace
+
+void ServingCounters::Print(std::ostream& os) const {
+  Row(os, "kernel_failures_injected", kernel_failures_injected);
+  Row(os, "device_hangs", device_hangs);
+  Row(os, "device_resets", device_resets);
+  Row(os, "alloc_fault_windows", alloc_fault_windows);
+  Row(os, "requests_ok", requests_ok);
+  Row(os, "requests_retried_ok", requests_retried_ok);
+  Row(os, "requests_timed_out", requests_timed_out);
+  Row(os, "requests_rejected", requests_rejected);
+  Row(os, "requests_failed", requests_failed);
+  Row(os, "retries", retries);
+  Row(os, "requests_shed", requests_shed);
+  Row(os, "breaker_rejections", breaker_rejections);
+  Row(os, "breaker_opens", breaker_opens);
+  Row(os, "transient_alloc_failures", transient_alloc_failures);
+  Row(os, "kernel_failures_observed", kernel_failures_observed);
+  Row(os, "deadline_cancellations", deadline_cancellations);
+}
+
+}  // namespace olympian::metrics

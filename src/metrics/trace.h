@@ -26,6 +26,8 @@ class Tracer {
 
   // Track used by the scheduler for token tenures.
   static constexpr std::int64_t kSchedulerTrack = -1;
+  // Track used by the fault injector for injected fault events.
+  static constexpr std::int64_t kFaultTrack = -2;
 
   void AddSpan(const char* category, std::string name, std::int64_t track,
                sim::TimePoint start, sim::TimePoint end);

@@ -5,6 +5,12 @@
 
 namespace olympian::serving {
 
+int ClientResult::CountStatus(RequestStatus s) const {
+  int n = 0;
+  for (const RequestStatus st : request_status) n += (st == s) ? 1 : 0;
+  return n;
+}
+
 Experiment::Experiment(ServerOptions options) : options_(std::move(options)) {
   if (options_.num_gpus < 1) {
     throw std::invalid_argument("num_gpus must be >= 1");
@@ -105,12 +111,149 @@ sim::Task Experiment::ClientProc(graph::JobContext& ctx, const graph::Graph& g,
     } else {
       arrival = env_.Now();
     }
-    co_await exec.RunOnce(ctx, g);
+    RequestStatus status = RequestStatus::kOk;
+    co_await RunRequest(ctx, g, spec, exec, rng, arrival, out.gpu_index,
+                        status);
     out.request_latency_ms.push_back((env_.Now() - arrival).millis());
-    ++out.batches_completed;
+    out.request_status.push_back(status);
+    if (status == RequestStatus::kOk ||
+        status == RequestStatus::kFailedRetried) {
+      ++out.batches_completed;
+    }
   }
   out.finish_time = env_.Now() - sim::TimePoint();
   out.gpu_duration = gpus_[out.gpu_index]->JobGpuDuration(ctx.job);
+}
+
+CircuitBreaker* Experiment::BreakerFor(const std::string& model) {
+  if (options_.degradation.breaker.failure_threshold <= 0) return nullptr;
+  auto& slot = breakers_[model];
+  if (!slot) {
+    slot = std::make_unique<CircuitBreaker>(options_.degradation.breaker);
+  }
+  return slot.get();
+}
+
+sim::Task Experiment::RunRequest(graph::JobContext& ctx, const graph::Graph& g,
+                                 const ClientSpec& spec, graph::Executor& exec,
+                                 sim::Rng& rng, sim::TimePoint arrival,
+                                 std::size_t gpu_index, RequestStatus& status) {
+  const DegradationOptions& deg = options_.degradation;
+  const bool has_deadline = spec.deadline > sim::Duration::Zero();
+  const sim::TimePoint deadline = arrival + spec.deadline;
+  CircuitBreaker* breaker = BreakerFor(spec.model);
+
+  for (int attempt = 1;; ++attempt) {
+    if (has_deadline && env_.Now() >= deadline) {
+      status = RequestStatus::kTimedOut;
+      ++counters_.requests_timed_out;
+      co_return;
+    }
+    // Admission control: shed instead of stalling when the pool is already
+    // saturated (the paper's §4.3 failure mode becomes a 503, not a hang).
+    if (deg.admission_watermark > 0.0) {
+      const double occupancy =
+          static_cast<double>(pool_->busy_workers() + pool_->queued()) /
+          static_cast<double>(pool_->num_threads());
+      if (occupancy >= deg.admission_watermark) {
+        ++counters_.requests_shed;
+        ++counters_.requests_rejected;
+        status = RequestStatus::kRejected;
+        co_await env_.Delay(deg.reject_backoff);
+        co_return;
+      }
+    }
+    if (breaker != nullptr && !breaker->AllowRequest(env_.Now())) {
+      ++counters_.breaker_rejections;
+      ++counters_.requests_rejected;
+      status = RequestStatus::kRejected;
+      co_await env_.Delay(deg.reject_backoff);
+      co_return;
+    }
+
+    bool failed = false;
+    graph::CancelReason reason = graph::CancelReason::kNone;
+    if (gpus_[gpu_index]->alloc_fault_active()) {
+      // Workspace allocation fails up front during an alloc-fault window — a
+      // retryable transient, like a failed cudaMalloc before launch.
+      ++counters_.transient_alloc_failures;
+      failed = true;
+    } else {
+      auto token = std::make_shared<graph::CancelToken>();
+      ctx.cancel = token.get();
+      if (has_deadline) {
+        env_.Spawn(DeadlineWatchdog(token, &ctx, gpu_index, deadline),
+                   ctx.client_name + "/watchdog");
+      }
+      co_await exec.RunOnce(ctx, g);
+      token->finished = true;
+      ctx.cancel = nullptr;
+      if (token->cancelled) {
+        failed = true;
+        reason = token->reason;
+      }
+    }
+
+    if (!failed) {
+      if (breaker != nullptr) breaker->OnSuccess();
+      if (attempt == 1) {
+        status = RequestStatus::kOk;
+        ++counters_.requests_ok;
+      } else {
+        status = RequestStatus::kFailedRetried;
+        ++counters_.requests_retried_ok;
+      }
+      co_return;
+    }
+    if (reason == graph::CancelReason::kDeadline) {
+      // The deadline already elapsed mid-run; no retry can meet it.
+      status = RequestStatus::kTimedOut;
+      ++counters_.requests_timed_out;
+      ++counters_.deadline_cancellations;
+      co_return;
+    }
+    if (reason == graph::CancelReason::kKernelFailed) {
+      ++counters_.kernel_failures_observed;
+    }
+    if (breaker != nullptr && breaker->OnFailure(env_.Now())) {
+      ++counters_.breaker_opens;
+    }
+    if (attempt > deg.retry.max_retries) {
+      status = RequestStatus::kFailed;
+      ++counters_.requests_failed;
+      co_return;
+    }
+    ++counters_.retries;
+    sim::Duration backoff = deg.retry.BackoffFor(attempt);
+    if (deg.retry.jitter > 0.0) {
+      backoff = rng.Jitter(backoff, deg.retry.jitter);
+    }
+    if (has_deadline && env_.Now() + backoff >= deadline) {
+      // The backoff alone would blow the deadline; give up now.
+      status = RequestStatus::kTimedOut;
+      ++counters_.requests_timed_out;
+      co_return;
+    }
+    co_await env_.Delay(backoff);
+  }
+}
+
+sim::Task Experiment::DeadlineWatchdog(
+    std::shared_ptr<graph::CancelToken> token, graph::JobContext* ctx,
+    std::size_t gpu_index, sim::TimePoint deadline) {
+  if (deadline > env_.Now()) co_await env_.Delay(deadline - env_.Now());
+  // `finished` is set by the issuer the moment RunOnce returns, so a stale
+  // watchdog (its request long done, the context reused) is a no-op.
+  if (token->finished || token->cancelled) co_return;
+  token->Cancel(graph::CancelReason::kDeadline);
+  // The run may be suspended waiting for the scheduler token with no node
+  // boundary coming up; notify the hooks directly so the gang is woken,
+  // deregistered, and its pool threads released.
+  if (!token->hooks_notified) {
+    token->hooks_notified = true;
+    graph::SchedulingHooks* hooks = hooks_.at(gpu_index);
+    if (hooks != nullptr) hooks->CancelRun(*ctx);
+  }
 }
 
 std::vector<ClientResult> Experiment::Run(
@@ -118,6 +261,19 @@ std::vector<ClientResult> Experiment::Run(
   if (ran_) throw std::logic_error("Experiment::Run may only be called once");
   ran_ = true;
   for (std::size_t i = 0; i < gpus_.size(); ++i) executor(i);  // bind hooks
+
+  // Arm the fault schedule before any client starts, so an event at t=0
+  // still lands. All faults fire on the virtual clock: a run with the same
+  // seed and plan is bit-for-bit reproducible.
+  if (!options_.faults.events().empty()) {
+    std::vector<gpusim::Gpu*> gpu_ptrs;
+    gpu_ptrs.reserve(gpus_.size());
+    for (const auto& g : gpus_) gpu_ptrs.push_back(g.get());
+    injector_ = std::make_unique<fault::FaultInjector>(
+        env_, std::move(gpu_ptrs), options_.faults, &counters_,
+        options_.executor.tracer);
+    injector_->Arm();
+  }
 
   std::vector<ClientResult> results(clients.size());
   std::vector<sim::Process> procs;
@@ -161,7 +317,10 @@ std::vector<ClientResult> Experiment::Run(
   bool stalled = false;
   for (std::size_t i = 0; i < results.size(); ++i) {
     makespan = std::max(makespan, results[i].finish_time);
-    if (results[i].batches_completed < clients[i].num_batches) stalled = true;
+    // A client whose process never finished is stalled. (Completed batches
+    // alone no longer prove liveness: rejected or timed-out requests finish
+    // their iteration without completing a batch.)
+    if (!procs[i].done()) stalled = true;
   }
   makespan_ = makespan;
   if (stalled) {

@@ -9,12 +9,15 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "gpusim/gpu.h"
 #include "graph/executor.h"
 #include "graph/graph.h"
 #include "graph/hooks.h"
 #include "graph/thread_pool.h"
+#include "metrics/counters.h"
 #include "models/model_zoo.h"
+#include "serving/degradation.h"
 #include "sim/environment.h"
 
 namespace olympian::serving {
@@ -43,6 +46,11 @@ struct ServerOptions {
   // GPU streams per job; bounds a job's intra-request kernel concurrency.
   int streams_per_job = 2;
   graph::ExecutorOptions executor;
+  // Deterministic fault schedule applied during Run (empty = no faults).
+  fault::FaultPlan faults;
+  // Graceful-degradation knobs: retries, circuit breaker, load shedding.
+  // Defaults preserve the legacy fail-stop behaviour.
+  DegradationOptions degradation;
   // Master seed; every stochastic component derives its stream from it.
   std::uint64_t seed = 1;
 };
@@ -65,6 +73,11 @@ struct ClientSpec {
   // Guaranteed minimum GPU share for the reservation policy (extension).
   double min_share = 0.0;
   sim::Duration mean_interarrival = sim::Duration::Zero();
+  // Per-request deadline, measured from the request's arrival and covering
+  // all retry attempts. Zero disables: requests run to completion. With a
+  // deadline set, a request overrunning it is cancelled cooperatively and
+  // reported as kTimedOut instead of stalling the client.
+  sim::Duration deadline = sim::Duration::Zero();
 };
 
 // Per-client outcome of a workload run.
@@ -83,6 +96,11 @@ struct ClientResult {
   // Per-request latency (arrival -> response), milliseconds. For
   // closed-loop clients the arrival is the previous response.
   std::vector<double> request_latency_ms;
+  // Per-request terminal status, parallel to request_latency_ms.
+  std::vector<RequestStatus> request_status;
+
+  // Number of requests that ended in `s`.
+  int CountStatus(RequestStatus s) const;
 };
 
 // A complete single-GPU serving experiment: environment, device, thread
@@ -144,6 +162,10 @@ class Experiment {
   sim::Duration makespan() const { return makespan_; }
   // nvidia-smi-style utilization: GPU-busy fraction of the makespan.
   double utilization() const;
+  // Fault / retry / degradation counters accumulated during Run.
+  const metrics::ServingCounters& counters() const { return counters_; }
+  // The fault injector armed for the last Run (nullptr when no faults).
+  const fault::FaultInjector* injector() const { return injector_.get(); }
 
   // The JobContexts created for the last Run (for scheduler inspection).
   const std::vector<std::unique_ptr<graph::JobContext>>& job_contexts() const {
@@ -153,6 +175,18 @@ class Experiment {
  private:
   sim::Task ClientProc(graph::JobContext& ctx, const graph::Graph& g,
                        ClientSpec spec, std::uint64_t seed, ClientResult& out);
+  // One request attempt chain: admission -> breaker -> run -> retry loop.
+  // Writes the terminal status into `status`.
+  sim::Task RunRequest(graph::JobContext& ctx, const graph::Graph& g,
+                       const ClientSpec& spec, graph::Executor& exec,
+                       sim::Rng& rng, sim::TimePoint arrival,
+                       std::size_t gpu_index, RequestStatus& status);
+  // Fires at `deadline`; cancels the run if it is still in flight. Holds a
+  // shared_ptr so a watchdog outliving its request cannot dangle.
+  sim::Task DeadlineWatchdog(std::shared_ptr<graph::CancelToken> token,
+                             graph::JobContext* ctx, std::size_t gpu_index,
+                             sim::TimePoint deadline);
+  CircuitBreaker* BreakerFor(const std::string& model);
 
   ServerOptions options_;
   sim::Environment env_;
@@ -168,6 +202,10 @@ class Experiment {
   gpusim::JobId next_job_id_ = 0;
   sim::Duration makespan_;
   bool ran_ = false;
+  metrics::ServingCounters counters_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  // Per-model circuit breakers (lazily created when the breaker is enabled).
+  std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
 };
 
 }  // namespace olympian::serving

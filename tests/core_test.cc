@@ -271,6 +271,75 @@ TEST(SchedulerTest, DeregisterReleasesToken) {
   EXPECT_EQ(f.sched.token(), kNoJob);
 }
 
+TEST(SchedulerTest, DeregisterWhileHoldingTokenRotatesToLiveJob) {
+  // Regression: the departing job holds the token; rotation must land on a
+  // still-registered job (never the departed one, never kNoJob while others
+  // remain), with each departure counted as a switch.
+  SchedFixture f(std::make_unique<FairPolicy>());
+  f.sched.SetProfile("m@1", &f.profile, 1e9);  // no quantum expiry
+  auto a = MakeCtx(0), b = MakeCtx(1), c = MakeCtx(2);
+  f.sched.RegisterRun(a);
+  f.sched.RegisterRun(b);
+  f.sched.RegisterRun(c);
+  ASSERT_EQ(f.sched.token(), 0);
+  const auto switches_before = f.sched.switches();
+  f.sched.DeregisterRun(a);  // holder departs
+  EXPECT_EQ(f.sched.token(), 1);
+  f.sched.DeregisterRun(b);  // new holder departs too
+  EXPECT_EQ(f.sched.token(), 2);
+  EXPECT_EQ(f.sched.switches(), switches_before + 2);
+  f.sched.DeregisterRun(c);
+  EXPECT_EQ(f.sched.token(), kNoJob);
+}
+
+TEST(SchedulerTest, CancelRunDeregistersAndRotates) {
+  SchedFixture f(std::make_unique<FairPolicy>());
+  f.sched.SetProfile("m@1", &f.profile, 1e9);
+  auto a = MakeCtx(0), b = MakeCtx(1);
+  graph::CancelToken tok;
+  a.cancel = &tok;
+  f.sched.RegisterRun(a);
+  f.sched.RegisterRun(b);
+  ASSERT_EQ(f.sched.token(), 0);
+  tok.Cancel(graph::CancelReason::kDeadline);
+  f.sched.CancelRun(a);
+  // The cancelled holder is gone and the token moved to the live job.
+  EXPECT_EQ(f.sched.token(), 1);
+  EXPECT_EQ(f.sched.cancellations(), 1u);
+  // The executor's end-of-run DeregisterRun for the cancelled job must be a
+  // safe no-op afterwards.
+  f.sched.DeregisterRun(a);
+  EXPECT_EQ(f.sched.token(), 1);
+  f.sched.DeregisterRun(b);
+  EXPECT_EQ(f.sched.token(), kNoJob);
+}
+
+TEST(SchedulerTest, CancelRunWakesSuspendedGangThreads) {
+  // A cancelled gang suspended in Yield must wake, observe the token, and
+  // drain — not hold its (pool) thread forever.
+  SchedFixture f(std::make_unique<FairPolicy>());
+  f.sched.SetProfile("m@1", &f.profile, 1e9);
+  auto a = MakeCtx(0), b = MakeCtx(1);
+  graph::CancelToken tok;
+  b.cancel = &tok;
+  f.sched.RegisterRun(a);  // a holds the token
+  f.sched.RegisterRun(b);  // b's gang will suspend in Yield
+  bool resumed = false;
+  auto gang_thread = [&]() -> Task {
+    co_await f.sched.Yield(b);
+    resumed = true;
+  };
+  auto p = f.env.Spawn(gang_thread());
+  f.env.RunUntil(sim::TimePoint() + Duration::Millis(1));
+  ASSERT_FALSE(resumed);  // suspended: a still holds the token
+  tok.Cancel(graph::CancelReason::kDeadline);
+  f.sched.CancelRun(b);
+  f.env.Run();
+  EXPECT_TRUE(resumed);
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(f.sched.token(), 0);  // a unaffected
+}
+
 TEST(SchedulerTest, YieldSuspendsUntilTokenGranted) {
   SchedFixture f(std::make_unique<FairPolicy>());
   f.sched.SetProfile("m@1", &f.profile, 200.0);
