@@ -5,6 +5,9 @@
 //
 // The paper's motivation — latency predictability for user-facing services —
 // shows up here as the spread of per-client p95 latencies.
+//
+// The four (load, system) runs are independent and fan out across OS
+// threads via SweepRunner; percentiles land in BENCH_ext_arrivals.json.
 
 #include <iostream>
 
@@ -39,36 +42,55 @@ int main() {
   bench::PrintHeader("Open-loop Poisson arrivals: latency percentiles",
                      "extension of the paper's workload model");
 
-  bench::ProfileCache profiles;
-  const auto q = sim::Duration::Micros(1600);
-
-  metrics::Table t({"Load (mean interarrival)", "System", "p50 (ms)",
-                    "p95 (ms)", "per-client p95 range (ms)"});
-
-  for (int gap_s_x10 : {80, 62}) {  // 8.0s (light), 6.2s (near saturation)
+  const int kGaps[] = {80, 62};  // 8.0s (light), 6.2s (near saturation)
+  bench::SweepRunner sweep("ext_arrivals");
+  for (int gap_s_x10 : kGaps) {
     const auto gap = sim::Duration::Seconds(gap_s_x10 / 10.0);
-    std::vector<serving::ClientSpec> clients(
+    const std::vector<serving::ClientSpec> clients(
         10, {.model = "inception-v4",
              .batch = 100,
              .num_batches = 10,
              .mean_interarrival = gap});
+    const std::string suffix = metrics::Table::Num(gap.seconds(), 1) + "s";
 
-    serving::ServerOptions opts;
-    opts.seed = 67;
-    const auto base = bench::RunBaseline(opts, clients);
-    const auto oly = bench::RunOlympian(opts, clients, "fair", q, profiles);
+    auto report = [](bench::SweepCase& out, const LoadResult& r) {
+      out.Set("p50_ms", r.p50);
+      out.Set("p95_ms", r.p95);
+      out.Set("per_client_p95_min_ms", r.min_p95);
+      out.Set("per_client_p95_max_ms", r.max_p95);
+    };
+    sweep.Add("tf-serving-gap-" + suffix,
+              [clients, report](bench::SweepCase& out) {
+                serving::ServerOptions opts;
+                opts.seed = 67;
+                report(out, Summarize(bench::RunBaseline(opts, clients).clients));
+              });
+    sweep.Add("olympian-fair-gap-" + suffix,
+              [clients, report](bench::SweepCase& out) {
+                serving::ServerOptions opts;
+                opts.seed = 67;
+                bench::ProfileCache profiles;
+                const auto q = sim::Duration::Micros(1600);
+                report(out, Summarize(
+                    bench::RunOlympian(opts, clients, "fair", q, profiles)
+                        .clients));
+              });
+  }
+  const auto& results = sweep.RunAll();
 
-    const auto b = Summarize(base.clients);
-    const auto o = Summarize(oly.clients);
-    const std::string load = metrics::Table::Num(gap.seconds(), 1) + " s";
-    t.AddRow({load, "TF-Serving", metrics::Table::Num(b.p50, 0),
-              metrics::Table::Num(b.p95, 0),
-              metrics::Table::Num(b.min_p95, 0) + " - " +
-                  metrics::Table::Num(b.max_p95, 0)});
-    t.AddRow({load, "Olympian fair", metrics::Table::Num(o.p50, 0),
-              metrics::Table::Num(o.p95, 0),
-              metrics::Table::Num(o.min_p95, 0) + " - " +
-                  metrics::Table::Num(o.max_p95, 0)});
+  metrics::Table t({"Load (mean interarrival)", "System", "p50 (ms)",
+                    "p95 (ms)", "per-client p95 range (ms)"});
+  std::size_t idx = 0;
+  for (int gap_s_x10 : kGaps) {
+    const std::string load =
+        metrics::Table::Num(gap_s_x10 / 10.0, 1) + " s";
+    for (const char* system : {"TF-Serving", "Olympian fair"}) {
+      const auto& m = results[idx++].metrics;
+      t.AddRow({load, system, metrics::Table::Num(m[0].second, 0),
+                metrics::Table::Num(m[1].second, 0),
+                metrics::Table::Num(m[2].second, 0) + " - " +
+                    metrics::Table::Num(m[3].second, 0)});
+    }
   }
   t.Print(std::cout);
   std::cout << "\nExpected shape: Olympian trims the aggregate p95 and lifts\n"

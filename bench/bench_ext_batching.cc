@@ -2,6 +2,9 @@
 // Poisson arrivals. Sweeps the batching timeout to expose the classic
 // throughput/latency tradeoff, then runs two models' batchers concurrently
 // under Olympian fair sharing with Figure-20-interpolated profiles.
+//
+// The timeout sweep's runs are independent and fan out across OS threads
+// via SweepRunner; per-timeout stats land in BENCH_ext_batching.json.
 
 #include <iostream>
 #include <cmath>
@@ -62,20 +65,36 @@ int main() {
                      "extension of paper §2.1's batching layer");
 
   // --- timeout sweep ------------------------------------------------------
+  bench::SweepRunner sweep("ext_batching");
+  for (int timeout_ms : {2, 50, 500}) {
+    sweep.Add("timeout-" + std::to_string(timeout_ms) + "ms",
+              [timeout_ms](bench::SweepCase& out) {
+                serving::Experiment exp(serving::ServerOptions{.seed = 83});
+                serving::Batcher::Options o;
+                o.allowed_batch_sizes = {4, 8, 16, 32};
+                o.batch_timeout = sim::Duration::Millis(timeout_ms);
+                serving::Batcher batcher(exp, "resnet-50", o);
+                const auto s = DriveBatcher(exp, batcher, 150,
+                                            sim::Duration::Millis(30), 83);
+                out.Set("batches", static_cast<double>(s.batches));
+                out.Set("occupancy", s.occupancy);
+                out.Set("mean_latency_ms", s.mean_latency_ms);
+                out.Set("p95_latency_ms", s.p95_latency_ms);
+              });
+  }
   metrics::Table t({"Batch timeout (ms)", "Batches", "Mean occupancy",
                     "Mean latency (ms)", "p95 latency (ms)"});
-  for (int timeout_ms : {2, 50, 500}) {
-    serving::Experiment exp(serving::ServerOptions{.seed = 83});
-    serving::Batcher::Options o;
-    o.allowed_batch_sizes = {4, 8, 16, 32};
-    o.batch_timeout = sim::Duration::Millis(timeout_ms);
-    serving::Batcher batcher(exp, "resnet-50", o);
-    const auto s =
-        DriveBatcher(exp, batcher, 150, sim::Duration::Millis(30), 83);
-    t.AddRow({std::to_string(timeout_ms), std::to_string(s.batches),
-              metrics::Table::Pct(s.occupancy),
-              metrics::Table::Num(s.mean_latency_ms, 1),
-              metrics::Table::Num(s.p95_latency_ms, 1)});
+  {
+    const auto& results = sweep.RunAll();
+    std::size_t idx = 0;
+    for (int timeout_ms : {2, 50, 500}) {
+      const auto& m = results[idx++].metrics;
+      t.AddRow({std::to_string(timeout_ms),
+                std::to_string(static_cast<std::uint64_t>(m[0].second)),
+                metrics::Table::Pct(m[1].second),
+                metrics::Table::Num(m[2].second, 1),
+                metrics::Table::Num(m[3].second, 1)});
+    }
   }
   t.Print(std::cout);
   std::cout << "Longer timeouts fill batches (higher occupancy, fewer GPU\n"

@@ -3,7 +3,9 @@
 // and its own Olympian scheduler (a token is a per-device grant).
 //
 // 20 Inception clients on 1 vs 2 GPUs, stock TF-Serving vs per-device
-// Olympian fair sharing.
+// Olympian fair sharing. The three configurations are independent runs,
+// fanned across OS threads via SweepRunner; scalars land in
+// BENCH_ext_multigpu.json.
 
 #include <iostream>
 #include <memory>
@@ -14,7 +16,7 @@ using namespace olympian;
 
 namespace {
 
-void Report(const char* label,
+void Report(bench::SweepCase& out,
             const std::vector<serving::ClientResult>& results,
             sim::Duration makespan) {
   metrics::Series per_gpu_cv[2];
@@ -23,15 +25,13 @@ void Report(const char* label,
     all.Add(r.finish_time.seconds());
     per_gpu_cv[r.gpu_index % 2].Add(r.finish_time.seconds());
   }
-  std::cout << "  " << label << ": makespan "
-            << metrics::Table::Num(makespan.seconds(), 2) << " s, finishes "
-            << metrics::Table::Num(all.Min(), 2) << " - "
-            << metrics::Table::Num(all.Max(), 2) << " s";
+  out.Set("makespan_s", makespan.seconds());
+  out.Set("finish_min_s", all.Min());
+  out.Set("finish_max_s", all.Max());
   if (!per_gpu_cv[1].empty()) {
-    std::cout << "  (per-device CV " << metrics::Table::Pct(per_gpu_cv[0].Cv())
-              << " / " << metrics::Table::Pct(per_gpu_cv[1].Cv()) << ")";
+    out.Set("gpu0_cv", per_gpu_cv[0].Cv());
+    out.Set("gpu1_cv", per_gpu_cv[1].Cv());
   }
-  std::cout << "\n";
 }
 
 }  // namespace
@@ -39,30 +39,28 @@ void Report(const char* label,
 int main() {
   bench::PrintHeader("Multi-GPU serving (extension)", "paper §7 future work");
 
-  bench::ProfileCache profiles;
-  const auto& prof = profiles.Get("inception-v4", 100);
-  const auto q = sim::Duration::Micros(1600);
   const auto clients = bench::HomogeneousClients("inception-v4", 100, 20, 5);
+  bench::SweepRunner sweep("ext_multigpu");
 
-  // --- one GPU ------------------------------------------------------------
-  {
+  sweep.Add("1 GPU, TF-Serving   ", [&clients](bench::SweepCase& out) {
     serving::ServerOptions opts;
     opts.seed = 73;
     serving::Experiment exp(opts);
     const auto r = exp.Run(clients);
-    Report("1 GPU, TF-Serving   ", r, exp.makespan());
-  }
-  // --- two GPUs, stock ------------------------------------------------------
-  {
+    Report(out, r, exp.makespan());
+  });
+  sweep.Add("2 GPUs, TF-Serving  ", [&clients](bench::SweepCase& out) {
     serving::ServerOptions opts;
     opts.seed = 73;
     opts.num_gpus = 2;
     serving::Experiment exp(opts);
     const auto r = exp.Run(clients);
-    Report("2 GPUs, TF-Serving  ", r, exp.makespan());
-  }
-  // --- two GPUs, Olympian fair (one scheduler per device) -----------------
-  {
+    Report(out, r, exp.makespan());
+  });
+  sweep.Add("2 GPUs, Olympian    ", [&clients](bench::SweepCase& out) {
+    bench::ProfileCache profiles;
+    const auto& prof = profiles.Get("inception-v4", 100);
+    const auto q = sim::Duration::Micros(1600);
     serving::ServerOptions opts;
     opts.seed = 73;
     opts.num_gpus = 2;
@@ -78,7 +76,21 @@ int main() {
     exp.SetGpuHooks(0, &sched0);
     exp.SetGpuHooks(1, &sched1);
     const auto r = exp.Run(clients);
-    Report("2 GPUs, Olympian    ", r, exp.makespan());
+    Report(out, r, exp.makespan());
+  });
+
+  for (const auto& r : sweep.RunAll()) {
+    std::cout << "  " << r.name << ": makespan "
+              << metrics::Table::Num(r.metrics[0].second, 2)
+              << " s, finishes "
+              << metrics::Table::Num(r.metrics[1].second, 2) << " - "
+              << metrics::Table::Num(r.metrics[2].second, 2) << " s";
+    if (r.metrics.size() > 3) {
+      std::cout << "  (per-device CV "
+                << metrics::Table::Pct(r.metrics[3].second) << " / "
+                << metrics::Table::Pct(r.metrics[4].second) << ")";
+    }
+    std::cout << "\n";
   }
 
   std::cout << "\nExpected shape: two devices halve the makespan; per-device\n"

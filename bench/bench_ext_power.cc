@@ -2,6 +2,9 @@
 // never measured Olympian's power cost; this bench reports mean board power
 // and energy-per-inference for the standard 10-client workload under each
 // scheduler, using the GpuSpec power model.
+//
+// The three scheduler configurations are independent runs, fanned across OS
+// threads via SweepRunner; scalars land in BENCH_ext_power.json.
 
 #include <iostream>
 
@@ -11,20 +14,14 @@ using namespace olympian;
 
 namespace {
 
-struct PowerRow {
-  std::string name;
-  double makespan_s;
-  double mean_watts;
-  double joules_per_inference;
-};
-
-PowerRow Measure(const std::string& name, serving::Experiment& exp,
-                 const std::vector<serving::ClientSpec>& clients) {
+void Measure(bench::SweepCase& out, serving::Experiment& exp,
+             const std::vector<serving::ClientSpec>& clients) {
   const auto results = exp.Run(clients);
   int inferences = 0;
   for (const auto& r : results) inferences += r.batches_completed;
-  return PowerRow{name, exp.makespan().seconds(), exp.gpu().MeanPowerWatts(),
-                  exp.gpu().EnergyJoules() / inferences};
+  out.Set("makespan_s", exp.makespan().seconds());
+  out.Set("mean_watts", exp.gpu().MeanPowerWatts());
+  out.Set("joules_per_inference", exp.gpu().EnergyJoules() / inferences);
 }
 
 }  // namespace
@@ -33,37 +30,41 @@ int main() {
   bench::PrintHeader("Power and energy per inference (extension)",
                      "paper §7 future work");
 
-  bench::ProfileCache profiles;
-  const auto& prof = profiles.Get("inception-v4", 100);
-  const auto q = sim::Duration::Micros(1600);
   const auto clients = bench::HomogeneousClients("inception-v4", 100, 10, 5);
+  bench::SweepRunner sweep("ext_power");
 
-  std::vector<PowerRow> rows;
-  {
+  sweep.Add("TF-Serving", [&clients](bench::SweepCase& out) {
     serving::Experiment exp(serving::ServerOptions{.seed = 61});
-    rows.push_back(Measure("TF-Serving", exp, clients));
-  }
+    Measure(out, exp, clients);
+  });
   for (const char* policy : {"fair", "priority"}) {
-    serving::Experiment exp(serving::ServerOptions{.seed = 61});
-    core::Scheduler sched(exp.env(), exp.gpu(), core::MakePolicy(policy));
-    sched.SetProfile(prof.key, &prof.cost,
-                     core::Profiler::ThresholdFor(prof, q));
-    exp.SetHooks(&sched);
-    auto cs = clients;
-    if (policy == std::string("priority")) {
-      for (std::size_t i = 0; i < cs.size(); ++i) {
-        cs[i].priority = static_cast<int>(cs.size() - i);
-      }
-    }
-    rows.push_back(Measure(std::string("Olympian ") + policy, exp, cs));
+    sweep.Add(std::string("Olympian ") + policy,
+              [&clients, policy](bench::SweepCase& out) {
+                bench::ProfileCache profiles;
+                const auto& prof = profiles.Get("inception-v4", 100);
+                const auto q = sim::Duration::Micros(1600);
+                serving::Experiment exp(serving::ServerOptions{.seed = 61});
+                core::Scheduler sched(exp.env(), exp.gpu(),
+                                      core::MakePolicy(policy));
+                sched.SetProfile(prof.key, &prof.cost,
+                                 core::Profiler::ThresholdFor(prof, q));
+                exp.SetHooks(&sched);
+                auto cs = clients;
+                if (policy == std::string("priority")) {
+                  for (std::size_t i = 0; i < cs.size(); ++i) {
+                    cs[i].priority = static_cast<int>(cs.size() - i);
+                  }
+                }
+                Measure(out, exp, cs);
+              });
   }
 
   metrics::Table t({"Scheduler", "Makespan (s)", "Mean power (W)",
                     "Energy/inference (J)"});
-  for (const auto& r : rows) {
-    t.AddRow({r.name, metrics::Table::Num(r.makespan_s, 2),
-              metrics::Table::Num(r.mean_watts, 1),
-              metrics::Table::Num(r.joules_per_inference, 1)});
+  for (const auto& r : sweep.RunAll()) {
+    t.AddRow({r.name, metrics::Table::Num(r.metrics[0].second, 2),
+              metrics::Table::Num(r.metrics[1].second, 1),
+              metrics::Table::Num(r.metrics[2].second, 1)});
   }
   t.Print(std::cout);
   std::cout << "\nExpected shape: Olympian's slightly longer makespan at\n"

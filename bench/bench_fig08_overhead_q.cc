@@ -1,8 +1,14 @@
 // Reproduces Figure 8: the Overhead-Q curves for the seven DNNs — measured
 // overhead of Olympian (two instances, fair sharing) vs stock TF-Serving,
 // as a function of the quantum Q. Overhead decreases as Q grows.
+//
+// Each model's curve is an independent profile + sweep of Q runs, so the
+// seven curves compute in parallel via SweepRunner (one ProfileCache per
+// case — the cache is not thread-safe). Curve points land in
+// BENCH_fig08_overhead_q.json.
 
 #include <iostream>
+#include <memory>
 
 #include "harness.h"
 #include "models/model_zoo.h"
@@ -12,16 +18,29 @@ using namespace olympian;
 int main() {
   bench::PrintHeader("Overhead-Q curves for the seven DNNs", "Figure 8");
 
-  bench::ProfileCache profiles;
+  const auto specs = models::AllModels();
+  std::vector<std::unique_ptr<core::ModelProfile>> curves(specs.size());
+
+  bench::SweepRunner sweep("fig08_overhead_q");
+  for (std::size_t m = 0; m < specs.size(); ++m) {
+    sweep.Add(specs[m].name, [m, &specs, &curves](bench::SweepCase& out) {
+      bench::ProfileCache profiles;  // per-case: profiling runs simulations
+      const auto& p =
+          profiles.GetWithCurve(specs[m].name, specs[m].paper_batch);
+      curves[m] = std::make_unique<core::ModelProfile>(p);
+      for (const auto& [q, overhead] : p.overhead_q) {
+        out.Set("overhead_at_q" + std::to_string(q.micros()), overhead);
+      }
+    });
+  }
+  sweep.RunAll();
+
   std::vector<std::string> headers{"Q (us)"};
-  for (const auto& spec : models::AllModels()) headers.push_back(spec.name);
+  for (const auto& spec : specs) headers.push_back(spec.name);
   metrics::Table t(std::move(headers));
 
-  // Compute all curves (this is the profiler's own measurement loop).
   std::vector<const core::ModelProfile*> all;
-  for (const auto& spec : models::AllModels()) {
-    all.push_back(&profiles.GetWithCurve(spec.name, spec.paper_batch));
-  }
+  for (const auto& c : curves) all.push_back(c.get());
 
   const std::size_t points = all.front()->overhead_q.size();
   for (std::size_t i = 0; i < points; ++i) {

@@ -1,10 +1,17 @@
 // google-benchmark microbenchmarks for the hot paths: the simulation event
 // loop, GPU submission, and Olympian's per-node scheduler hooks. These bound
 // the simulator's own cost, not the modeled system's.
+//
+// The event-loop benchmarks also report heap-allocations-per-event (via a
+// counting global operator new in this binary), the metric the coroutine
+// frame pool and the two-tier event queue are tuned against.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "core/profiler.h"
 #include "core/scheduler.h"
@@ -12,50 +19,177 @@
 #include "graph/thread_pool.h"
 #include "serving/server.h"
 #include "sim/environment.h"
+#include "sim/sync.h"
+
+// --- allocation counting ----------------------------------------------------
+// Counts every heap allocation made in this binary (the simulator is
+// single-threaded, so a plain counter suffices for the measured regions).
+
+namespace {
+std::uint64_t g_allocs = 0;
+}  // namespace
+
+// GCC pairs the replaced operator new's inlined malloc with the free below
+// and warns about a mismatch; the pairing is intentional here.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace olympian;
 
 namespace {
 
+// Attaches events/sec and allocs/event counters to an event-loop benchmark.
+void ReportEventCounters(benchmark::State& state, std::uint64_t events,
+                         std::uint64_t allocs) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events),
+                         benchmark::Counter::kIsRate);
+  state.counters["allocs/event"] =
+      events ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
+}
+
 // Throughput of the raw event loop: one self-rescheduling process.
 void BM_EventLoopDelay(benchmark::State& state) {
+  std::uint64_t events = 0, allocs = 0;
   for (auto _ : state) {
     sim::Environment env;
     const int n = 10000;
+    const std::uint64_t a0 = g_allocs;
     env.Spawn([](sim::Environment& e, int count) -> sim::Task {
       for (int i = 0; i < count; ++i) {
         co_await e.Delay(sim::Duration::Nanos(10));
       }
     }(env, n));
     env.Run();
-    benchmark::DoNotOptimize(env.events_executed());
+    events += env.events_executed();
+    allocs += g_allocs - a0;
   }
-  state.SetItemsProcessed(state.iterations() * 10000);
+  ReportEventCounters(state, events, allocs);
 }
 BENCHMARK(BM_EventLoopDelay)->Unit(benchmark::kMillisecond);
 
-// Condition-variable ping-pong between two processes.
-void BM_CondVarPingPong(benchmark::State& state) {
+// The ScheduleNow-dominated workload: many processes cooperatively yielding
+// at the same virtual instant (the shape of kernel waves, condvar wakes, and
+// gang resumes). With `procs` runnable events queued at once, this is the
+// event queue's deep-queue regime.
+void BM_EventLoopScheduleNow(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int yields = 256;
+  std::uint64_t events = 0, allocs = 0;
   for (auto _ : state) {
     sim::Environment env;
-    sim::CondVar a(env), b(env);
-    const int n = 5000;
-    env.Spawn([](sim::CondVar& left, sim::CondVar& right, int count) -> sim::Task {
-      for (int i = 0; i < count; ++i) {
-        right.NotifyOne();
-        co_await left.Wait();
-      }
-      right.NotifyOne();
-    }(a, b, n));
-    env.Spawn([](sim::CondVar& left, sim::CondVar& right, int count) -> sim::Task {
-      for (int i = 0; i < count; ++i) {
-        co_await right.Wait();
-        left.NotifyOne();
-      }
-    }(a, b, n));
+    const std::uint64_t a0 = g_allocs;
+    for (int p = 0; p < procs; ++p) {
+      env.Spawn([](sim::Environment& e, int count) -> sim::Task {
+        for (int i = 0; i < count; ++i) {
+          co_await e.Delay(sim::Duration::Zero());
+        }
+      }(env, yields));
+    }
     env.Run();
+    events += env.events_executed();
+    allocs += g_allocs - a0;
   }
-  state.SetItemsProcessed(state.iterations() * 5000);
+  ReportEventCounters(state, events, allocs);
+}
+BENCHMARK(BM_EventLoopScheduleNow)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// The timer regime: many processes sleeping staggered positive delays, so
+// the future-event heap stays deep and every event is a heap pop + push.
+void BM_EventLoopTimers(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  const int ticks = 256;
+  std::uint64_t events = 0, allocs = 0;
+  for (auto _ : state) {
+    sim::Environment env;
+    const std::uint64_t a0 = g_allocs;
+    for (int p = 0; p < procs; ++p) {
+      env.Spawn([](sim::Environment& e, int count, int stride) -> sim::Task {
+        for (int i = 0; i < count; ++i) {
+          co_await e.Delay(sim::Duration::Nanos(100 + stride));
+        }
+      }(env, ticks, p));
+    }
+    env.Run();
+    events += env.events_executed();
+    allocs += g_allocs - a0;
+  }
+  ReportEventCounters(state, events, allocs);
+}
+BENCHMARK(BM_EventLoopTimers)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// Process churn: spawn/complete many short-lived processes (the coroutine
+// frame + process-state allocation path).
+void BM_SpawnChurn(benchmark::State& state) {
+  std::uint64_t events = 0, allocs = 0;
+  const int n = 4096;
+  for (auto _ : state) {
+    sim::Environment env;
+    const std::uint64_t a0 = g_allocs;
+    env.Spawn([](sim::Environment& e, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) {
+        e.Spawn([](sim::Environment& env2) -> sim::Task {
+          co_await env2.Delay(sim::Duration::Nanos(5));
+        }(e));
+        co_await e.Delay(sim::Duration::Nanos(1));
+      }
+    }(env, n));
+    env.Run();
+    events += env.events_executed();
+    allocs += g_allocs - a0;
+  }
+  ReportEventCounters(state, events, allocs);
+}
+BENCHMARK(BM_SpawnChurn)->Unit(benchmark::kMillisecond);
+
+// Condition-variable ping-pong between two processes. The responder is
+// spawned first and parks in Wait() before the driver's first notify (a
+// notify with no waiter is lost — this is a condvar, not a semaphore).
+void BM_CondVarPingPong(benchmark::State& state) {
+  std::uint64_t events = 0, allocs = 0;
+  for (auto _ : state) {
+    sim::Environment env;
+    sim::CondVar ping(env), pong(env);
+    const int n = 5000;
+    const std::uint64_t a0 = g_allocs;
+    env.Spawn([](sim::CondVar& in, sim::CondVar& out, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) {
+        co_await in.Wait();
+        out.NotifyOne();
+      }
+    }(ping, pong, n));
+    env.Spawn([](sim::Environment& e, sim::CondVar& out, sim::CondVar& in,
+                 int count) -> sim::Task {
+      co_await e.Delay(sim::Duration::Zero());  // let the responder park
+      for (int i = 0; i < count; ++i) {
+        out.NotifyOne();
+        co_await in.Wait();
+      }
+    }(env, ping, pong, n));
+    env.Run();
+    events += env.events_executed();
+    allocs += g_allocs - a0;
+  }
+  ReportEventCounters(state, events, allocs);
 }
 BENCHMARK(BM_CondVarPingPong)->Unit(benchmark::kMillisecond);
 

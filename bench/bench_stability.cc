@@ -1,6 +1,10 @@
 // Reproduces §4.4's stability validation: total cost C_j and GPU duration
 // D_j for Inception (batch 100) measured across many independent runs.
 // Olympian's offline profiling is sound because both are highly stable.
+//
+// The 30 runs are independent (one Profiler, one seed each), so they fan
+// out across OS threads via SweepRunner; per-run metrics land in
+// BENCH_stability.json.
 
 #include <iostream>
 
@@ -13,16 +17,25 @@ int main() {
                      "Section 4.4");
 
   const int kRuns = 30;
-  metrics::Series costs_s, durations_s, runtimes_s;
+  bench::SweepRunner sweep("stability");
   for (int i = 0; i < kRuns; ++i) {
-    core::ProfilerOptions opts;
-    opts.profile_runs = 1;
-    opts.seed = 1000 + static_cast<std::uint64_t>(i);
-    core::Profiler profiler(opts);
-    const auto p = profiler.ProfileModel("inception-v4", 100);
-    costs_s.Add(p.TotalCost() / 1e9);
-    durations_s.Add(p.GpuDuration().seconds());
-    runtimes_s.Add(p.cost.solo_runtime.seconds());
+    sweep.Add("seed-" + std::to_string(1000 + i), [i](bench::SweepCase& out) {
+      core::ProfilerOptions opts;
+      opts.profile_runs = 1;
+      opts.seed = 1000 + static_cast<std::uint64_t>(i);
+      core::Profiler profiler(opts);
+      const auto p = profiler.ProfileModel("inception-v4", 100);
+      out.Set("total_cost_gops", p.TotalCost() / 1e9);
+      out.Set("gpu_duration_s", p.GpuDuration().seconds());
+      out.Set("solo_runtime_s", p.cost.solo_runtime.seconds());
+    });
+  }
+
+  metrics::Series costs_s, durations_s, runtimes_s;
+  for (const auto& r : sweep.RunAll()) {
+    costs_s.Add(r.metrics[0].second);
+    durations_s.Add(r.metrics[1].second);
+    runtimes_s.Add(r.metrics[2].second);
   }
 
   metrics::Table t({"Quantity", "Mean", "Stddev", "CV", "Paper CV"});

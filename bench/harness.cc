@@ -1,8 +1,14 @@
 #include "harness.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <set>
+#include <thread>
 
+#include "json.h"
 #include "models/model_zoo.h"
 
 namespace olympian::bench {
@@ -117,6 +123,94 @@ void PrintHeader(const std::string& title, const std::string& paper_ref) {
 
 std::string FmtSeconds(sim::Duration d) {
   return metrics::Table::Num(d.seconds(), 2);
+}
+
+// --- SweepRunner ------------------------------------------------------------
+
+int SweepRunner::Threads() const {
+  int n = 0;
+  if (const char* env = std::getenv("OLYMPIAN_BENCH_THREADS")) {
+    n = std::atoi(env);
+  }
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  const int cases = static_cast<int>(cases_.size());
+  return cases > 0 && n > cases ? cases : n;
+}
+
+const std::vector<SweepCase>& SweepRunner::RunAll() {
+  const std::size_t n = cases_.size();
+  results_.assign(n, SweepCase{});
+  std::vector<std::exception_ptr> errors(n);
+
+  // Workers pull the next unclaimed case index; results land in the slot
+  // for that index, so output order is Add() order regardless of timing.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      results_[i].name = cases_[i].first;
+      const auto case_t0 = std::chrono::steady_clock::now();
+      try {
+        cases_[i].second(results_[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      // Appended last so binaries can index their own metrics from 0. The
+      // sum/max ratio of these across cases bounds the achievable parallel
+      // speedup on a many-core host.
+      results_[i].Set("case_seconds",
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - case_t0)
+                          .count());
+    }
+  };
+
+  const int threads = Threads();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  wall_seconds_ = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);  // first failure in Add() order
+  }
+
+  Json cases_json = Json::Array();
+  for (const auto& r : results_) {
+    Json metrics = Json::Object();
+    for (const auto& [key, value] : r.metrics) {
+      metrics.Set(key, Json::Num(value));
+    }
+    cases_json.Push(
+        Json::Object().Set("name", Json::Str(r.name)).Set("metrics",
+                                                          std::move(metrics)));
+  }
+  Json root = Json::Object();
+  root.Set("bench", Json::Str(name_))
+      .Set("threads", Json::Num(threads))
+      .Set("wall_seconds", Json::Num(wall_seconds_))
+      .Set("cases", std::move(cases_json));
+  const std::string path = "BENCH_" + name_ + ".json";
+  if (!WriteJsonFile(path, root)) {
+    std::fprintf(stderr, "[sweep %s] failed to write %s\n", name_.c_str(),
+                 path.c_str());
+  }
+  std::fprintf(stderr, "[sweep %s] %zu cases on %d thread%s in %.2fs -> %s\n",
+               name_.c_str(), n, threads, threads == 1 ? "" : "s",
+               wall_seconds_, path.c_str());
+  return results_;
 }
 
 }  // namespace olympian::bench

@@ -5,9 +5,11 @@
 // provides the common plumbing: profiling with caching, building Olympian
 // experiments, and result summaries.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/profiler.h"
@@ -79,5 +81,66 @@ std::vector<serving::ClientSpec> HomogeneousClients(const std::string& model,
 // Pretty-print helpers shared by the binaries.
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 std::string FmtSeconds(sim::Duration d);
+
+// --- parallel sweeps --------------------------------------------------------
+
+// One sweep case's machine-readable result: a named, ordered list of scalar
+// metrics. Cases may additionally publish richer data (client vectors,
+// profiles) through slots captured by the case lambda; the runner itself
+// only sees these metrics.
+struct SweepCase {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+  void Set(std::string key, double v) {
+    metrics.emplace_back(std::move(key), v);
+  }
+};
+
+// Fans independent (config, seed) runs across OS threads.
+//
+// Each simulation is single-threaded and a pure function of its inputs, so a
+// sweep of independent runs parallelizes trivially — PROVIDED each case
+// constructs everything it touches (Environment, Experiment, ProfileCache,
+// Profiler) inside its own callback. Nothing in src/ has mutable global
+// state, and the coroutine frame pool is thread-local, so cases never
+// contend. ProfileCache is NOT thread-safe: never share one across cases.
+//
+// Results are reported in Add() order no matter which thread finishes when,
+// and each run's simulated outputs are bit-identical to a serial run (the
+// golden determinism test pins this for the underlying sim). If any case
+// throws, the first error in Add() order is rethrown after the sweep drains.
+//
+// RunAll() also writes a BENCH_<name>.json artifact with every case's
+// metrics, for machine consumption by CI and plotting scripts.
+class SweepRunner {
+ public:
+  // `name` keys the artifact: BENCH_<name>.json in the working directory.
+  explicit SweepRunner(std::string name) : name_(std::move(name)) {}
+
+  // Enqueue a case. `fn` runs on a worker thread: it must create every
+  // object it uses (no shared ProfileCache!) and write only to `out` and to
+  // per-case slots it exclusively owns.
+  void Add(std::string case_name, std::function<void(SweepCase& out)> fn) {
+    cases_.emplace_back(std::move(case_name), std::move(fn));
+  }
+
+  // Runs every queued case across `Threads()` workers, writes the JSON
+  // artifact, and prints a one-line timing summary to stderr. Returns the
+  // results in Add() order.
+  const std::vector<SweepCase>& RunAll();
+
+  const std::vector<SweepCase>& results() const { return results_; }
+  double wall_seconds() const { return wall_seconds_; }
+
+  // Worker count: OLYMPIAN_BENCH_THREADS if set (min 1), else the hardware
+  // concurrency, capped at the number of queued cases.
+  int Threads() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::function<void(SweepCase&)>>> cases_;
+  std::vector<SweepCase> results_;
+  double wall_seconds_ = 0.0;
+};
 
 }  // namespace olympian::bench

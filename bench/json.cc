@@ -1,0 +1,131 @@
+#include "json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace olympian::bench {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Indent(std::string& out, int depth) { out.append(2 * depth, ' '); }
+
+}  // namespace
+
+Json Json::Str(std::string s) {
+  Json j(Kind::kString);
+  j.scalar_ = std::move(s);
+  return j;
+}
+
+Json Json::Num(double v) {
+  Json j(Kind::kNumber);
+  if (!std::isfinite(v)) {
+    j.scalar_ = "null";  // JSON has no inf/nan
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    j.scalar_ = buf;
+  }
+  return j;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::DumpTo(std::string& out, int depth) const {
+  switch (kind_) {
+    case Kind::kString:
+      AppendEscaped(out, scalar_);
+      break;
+    case Kind::kNumber:
+      out += scalar_;
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        Indent(out, depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.DumpTo(out, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      Indent(out, depth);
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        Indent(out, depth + 1);
+        elements_[i].DumpTo(out, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += '\n';
+      }
+      Indent(out, depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0);
+  out += '\n';
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path, const Json& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = root.Dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace olympian::bench

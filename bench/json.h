@@ -1,0 +1,42 @@
+#pragma once
+
+// Minimal JSON value builder for the BENCH_*.json artifacts the sweep
+// binaries emit. Insertion-ordered (results must be stable across runs and
+// thread counts), no dependencies, writes compact one-value-per-line output.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace olympian::bench {
+
+class Json {
+ public:
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+  static Json Str(std::string s);
+  static Json Num(double v);
+
+  // Object member (insertion order preserved). Returns *this for chaining.
+  Json& Set(std::string key, Json value);
+  // Array element.
+  Json& Push(Json value);
+
+  std::string Dump() const;  // pretty-printed, trailing newline
+
+ private:
+  enum class Kind { kObject, kArray, kString, kNumber };
+  explicit Json(Kind k) : kind_(k) {}
+
+  void DumpTo(std::string& out, int depth) const;
+
+  Kind kind_;
+  std::string scalar_;                           // kString / kNumber
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+  std::vector<Json> elements_;                   // kArray
+};
+
+// Writes `root` to `path` (truncating). Returns false on I/O failure.
+bool WriteJsonFile(const std::string& path, const Json& root);
+
+}  // namespace olympian::bench

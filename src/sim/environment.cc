@@ -1,5 +1,6 @@
 #include "sim/environment.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace olympian::sim {
@@ -38,6 +39,41 @@ const std::string& Process::name() const {
   return state_ ? state_->name : kAnonymous;
 }
 
+// --- event containers -------------------------------------------------------
+
+void Environment::EventRing::Grow() {
+  const std::size_t cap = buf_.empty() ? 64 : buf_.size() * 2;
+  std::vector<Event> grown(cap);
+  for (std::size_t i = 0; i < size_; ++i) {
+    grown[i] = buf_[(head_ + i) & mask_];
+  }
+  buf_ = std::move(grown);
+  head_ = 0;
+  mask_ = cap - 1;
+}
+
+void Environment::TimerHeap::SiftDownFromTop() {
+  const Event last = v_.back();
+  v_.pop_back();
+  const std::size_t n = v_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = i * 4 + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(v_[c], v_[best])) best = c;
+    }
+    if (!Earlier(v_[best], last)) break;
+    v_[i] = v_[best];
+    i = best;
+  }
+  v_[i] = last;
+}
+
+// --- environment ------------------------------------------------------------
+
 Environment::~Environment() {
   tearing_down_ = true;
   // Destroy any still-suspended process frames. Frame-local destructors may
@@ -52,33 +88,44 @@ Environment::~Environment() {
 }
 
 Process Environment::Spawn(Task t, std::string name) {
-  auto state = std::make_shared<detail::ProcessState>();
+  auto state = std::allocate_shared<detail::ProcessState>(
+      detail::PoolAlloc<detail::ProcessState>{});
   state->env = this;
   state->name = std::move(name);
   state->id = next_process_id_++;
+  state->index = static_cast<std::uint32_t>(processes_.size());
   state->frame = t.Release();
   state->frame.promise().process = state.get();
   ++live_;
   processes_.push_back(state);
   ScheduleNow(state->frame);
-  return Process(state);
+  return Process(std::move(state));
 }
 
-void Environment::ScheduleAt(TimePoint t, std::coroutine_handle<> h) {
-  if (tearing_down_) return;
-  queue_.push(Event{t, next_seq_++, h, nullptr, nullptr, 0});
-}
-
-void Environment::ScheduleCallbackAt(TimePoint t, Callback fn, void* ctx,
-                                     std::uint64_t arg) {
-  if (tearing_down_) return;
-  queue_.push(Event{t, next_seq_++, nullptr, fn, ctx, arg});
+const Environment::Event* Environment::PeekNext() const {
+  if (ring_.empty()) return heap_.empty() ? nullptr : &heap_.top();
+  if (heap_.empty()) return &ring_.front();
+  // Ring entries were scheduled at the instant the clock already reached, so
+  // the ring front almost always wins; a heap timer can only tie its time,
+  // with an earlier sequence number.
+  return Earlier(heap_.top(), ring_.front()) ? &heap_.top() : &ring_.front();
 }
 
 bool Environment::Step() {
-  if (queue_.empty()) return false;
-  Event e = queue_.top();
-  queue_.pop();
+  if (!ring_.empty()) {
+    if (heap_.empty() || !Earlier(heap_.top(), ring_.front())) {
+      ExecuteEvent(ring_.pop());
+    } else {
+      ExecuteEvent(heap_.pop());
+    }
+    return true;
+  }
+  if (heap_.empty()) return false;
+  ExecuteEvent(heap_.pop());
+  return true;
+}
+
+void Environment::ExecuteEvent(const Event& e) {
   now_ = e.t;
   ++events_executed_;
   if (e.fn != nullptr) {
@@ -86,7 +133,6 @@ bool Environment::Step() {
   } else {
     e.h.resume();
   }
-  return true;
 }
 
 void Environment::Run() {
@@ -99,13 +145,17 @@ void Environment::Run() {
 
 bool Environment::RunUntil(TimePoint deadline) {
   for (;;) {
-    if (queue_.empty()) {
+    const Event* next = PeekNext();
+    if (next == nullptr) {
+      // Drained early: still consume the whole window, so Now() lands on
+      // `deadline` exactly as in the non-drained branch below.
+      if (now_ < deadline) now_ = deadline;
       if (first_error_) {
         std::rethrow_exception(std::exchange(first_error_, nullptr));
       }
       return true;
     }
-    if (queue_.top().t > deadline) {
+    if (next->t > deadline) {
       now_ = deadline;
       if (first_error_) {
         std::rethrow_exception(std::exchange(first_error_, nullptr));
@@ -123,14 +173,14 @@ void Environment::NoteProcessDone(detail::ProcessState* s, bool had_joiners) {
     if (!first_error_) first_error_ = s->exception;
   }
   // Drop the environment's reference so completed states are reclaimed once
-  // user-held Process handles go away.
-  for (std::size_t i = 0; i < processes_.size(); ++i) {
-    if (processes_[i].get() == s) {
-      processes_[i] = std::move(processes_.back());
-      processes_.pop_back();
-      break;
-    }
+  // user-held Process handles go away. O(1): swap with the tail and patch
+  // the moved element's index.
+  const std::uint32_t i = s->index;
+  if (i + 1 != processes_.size()) {
+    processes_[i] = std::move(processes_.back());
+    processes_[i]->index = i;
   }
+  processes_.pop_back();
 }
 
 }  // namespace olympian::sim

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
 
 namespace olympian::sim {
@@ -10,6 +12,99 @@ class Environment;
 
 namespace detail {
 struct ProcessState;
+
+// Freelist pool for coroutine frames and process-state blocks.
+//
+// Simulations create and destroy frames at event rates (every spawned
+// process, every nested task), and the frames of a given coroutine function
+// are all the same size — a textbook fit for size-binned freelists. Blocks
+// are binned by rounding the request up to 64-byte granules; oversized
+// requests (> 4 KiB) fall through to the global allocator.
+//
+// The pool is thread_local: each SweepRunner worker thread drives its own
+// Environment, and per-thread freelists make frame recycling free of
+// synchronization. Outstanding freelist blocks are returned to the global
+// allocator when the owning thread exits (keeps LeakSanitizer quiet).
+class FramePool {
+ public:
+  static void* Allocate(std::size_t size) {
+    const std::size_t bin = BinFor(size);
+    if (bin >= kBins) return ::operator new(size);
+    Bins& b = bins();
+    if (FreeBlock* block = b.head[bin]) {
+      b.head[bin] = block->next;
+      return block;
+    }
+    return ::operator new(bin * kGranularity);
+  }
+
+  static void Release(void* p, std::size_t size) noexcept {
+    const std::size_t bin = BinFor(size);
+    if (bin >= kBins) {
+      ::operator delete(p);
+      return;
+    }
+    Bins& b = bins();
+    auto* block = static_cast<FreeBlock*>(p);
+    block->next = b.head[bin];
+    b.head[bin] = block;
+  }
+
+ private:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kBins = 65;  // bins 1..64 => up to 4 KiB
+
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  struct Bins {
+    FreeBlock* head[kBins] = {};
+    ~Bins() {
+      for (FreeBlock* list : head) {
+        while (list != nullptr) {
+          FreeBlock* next = list->next;
+          ::operator delete(list);
+          list = next;
+        }
+      }
+    }
+  };
+
+  static std::size_t BinFor(std::size_t size) {
+    return (size + kGranularity - 1) / kGranularity;
+  }
+
+  static Bins& bins() {
+    static thread_local Bins b;
+    return b;
+  }
+};
+
+// Minimal allocator handing out FramePool blocks; used with
+// std::allocate_shared so a process's state + shared_ptr control block come
+// from the same recycled pool as its coroutine frame.
+template <typename T>
+struct PoolAlloc {
+  using value_type = T;
+
+  PoolAlloc() = default;
+  template <typename U>
+  PoolAlloc(const PoolAlloc<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(FramePool::Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    FramePool::Release(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PoolAlloc<U>&) const noexcept {
+    return true;
+  }
+};
+
 }  // namespace detail
 
 // The coroutine type for simulation processes.
@@ -25,7 +120,9 @@ struct ProcessState;
 //    process (like starting an OS thread). Completion is observed via the
 //    returned `Process` handle.
 //
-// Tasks are move-only and own their coroutine frame until consumed.
+// Tasks are move-only and own their coroutine frame until consumed. Frames
+// are recycled through a per-thread freelist (`detail::FramePool`), so
+// steady-state process churn performs no heap allocation.
 class [[nodiscard]] Task {
  public:
   struct promise_type;
@@ -45,6 +142,15 @@ class [[nodiscard]] Task {
     std::exception_ptr exception;
     // Non-null iff this task was spawned as a top-level process.
     detail::ProcessState* process = nullptr;
+
+    // Route frame allocation through the freelist pool. The sized delete is
+    // required: it is how the pool knows which bin a frame returns to.
+    static void* operator new(std::size_t size) {
+      return detail::FramePool::Allocate(size);
+    }
+    static void operator delete(void* p, std::size_t size) noexcept {
+      detail::FramePool::Release(p, size);
+    }
 
     Task get_return_object() { return Task(Handle::from_promise(*this)); }
     std::suspend_always initial_suspend() const noexcept { return {}; }

@@ -1,0 +1,143 @@
+// Golden determinism regression test: the Fig-11 workload (homogeneous
+// Inception clients, stock TF-Serving and Olympian fair sharing) replayed
+// with a fixed seed must produce bit-identical per-client finish times,
+// events_executed, and scheduler counters — both run-to-run within one build
+// and against golden values recorded before the event-queue/allocator
+// rewrite. This is the gate that lets the simulation kernel be optimized
+// freely: any reordering of same-instant events or change in stochastic
+// stream consumption shows up here as an exact mismatch.
+//
+// Runs in both CI jobs (Release and OLYMPIAN_SANITIZE=ON); sanitizers do not
+// perturb virtual-clock arithmetic, so the same constants hold.
+//
+// To regenerate after an *intentional* semantic change, run with
+// OLYMPIAN_GOLDEN_PRINT=1 and paste the emitted block below.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/scheduler.h"
+#include "serving/server.h"
+
+namespace olympian {
+namespace {
+
+struct GoldenRun {
+  std::vector<std::int64_t> finish_ns;   // per-client finish times
+  std::vector<std::int64_t> gpu_ns;      // per-client GPU durations
+  std::vector<int> batches;              // per-client completed batches
+  std::uint64_t events = 0;              // Environment::events_executed()
+  std::uint64_t switches = 0;            // Olympian-only
+  std::uint64_t quanta = 0;              // Olympian-only
+
+  bool operator==(const GoldenRun&) const = default;
+};
+
+constexpr int kClients = 10;
+constexpr int kBatches = 2;
+constexpr std::uint64_t kSeed = 5;
+
+GoldenRun RunWorkload(bool olympian) {
+  std::vector<serving::ClientSpec> clients(
+      kClients, serving::ClientSpec{.model = "inception-v4",
+                                    .batch = 100,
+                                    .num_batches = kBatches});
+  serving::ServerOptions opts;
+  opts.seed = kSeed;
+  serving::Experiment exp(opts);
+
+  std::unique_ptr<core::Scheduler> sched;
+  core::ModelProfile profile;
+  if (olympian) {
+    core::Profiler profiler;
+    profile = profiler.ProfileModel("inception-v4", 100);
+    const auto q = sim::Duration::Micros(1600);
+    sched = std::make_unique<core::Scheduler>(
+        exp.env(), exp.gpu(), std::make_unique<core::FairPolicy>());
+    sched->SetProfile(profile.key, &profile.cost,
+                      core::Profiler::ThresholdFor(profile, q));
+    exp.SetHooks(sched.get());
+  }
+
+  const auto results = exp.Run(clients);
+  GoldenRun out;
+  for (const auto& r : results) {
+    out.finish_ns.push_back(r.finish_time.nanos());
+    out.gpu_ns.push_back(r.gpu_duration.nanos());
+    out.batches.push_back(r.batches_completed);
+  }
+  out.events = exp.env().events_executed();
+  if (sched) {
+    out.switches = sched->switches();
+    out.quanta = sched->quanta_completed();
+  }
+  return out;
+}
+
+void PrintGolden(const char* name, const GoldenRun& g) {
+  std::printf("const GoldenRun %s{\n    {", name);
+  for (auto v : g.finish_ns) std::printf("%lldLL, ", static_cast<long long>(v));
+  std::printf("},\n    {");
+  for (auto v : g.gpu_ns) std::printf("%lldLL, ", static_cast<long long>(v));
+  std::printf("},\n    {");
+  for (auto v : g.batches) std::printf("%d, ", v);
+  std::printf("},\n    %lluULL, %lluULL, %lluULL};\n",
+              static_cast<unsigned long long>(g.events),
+              static_cast<unsigned long long>(g.switches),
+              static_cast<unsigned long long>(g.quanta));
+}
+
+// Golden values recorded from the pre-rewrite simulation kernel
+// (std::priority_queue event loop), seed 5, 10 clients x 2 batches.
+const GoldenRun kGoldenBaseline{
+    {9068776858LL, 10960558313LL, 11354049113LL, 10220972098LL, 8912229488LL,
+     10659668123LL, 9711286909LL, 8228638535LL, 9828060530LL, 11338222049LL},
+    {1134996471LL, 1134886510LL, 1135164404LL, 1134937902LL, 1134936901LL,
+     1134930888LL, 1134938968LL, 1134993954LL, 1134789945LL, 1134941801LL},
+    {2, 2, 2, 2, 2, 2, 2, 2, 2, 2},
+    1111150ULL, 0ULL, 0ULL};
+
+const GoldenRun kGoldenOlympian{
+    {11535181119LL, 11535835619LL, 11536476308LL, 11537126770LL,
+     11537792406LL, 11538439502LL, 11539101135LL, 11539751847LL,
+     11540391545LL, 11541038440LL},
+    {1135041533LL, 1134626034LL, 1134901641LL, 1134560874LL, 1135277897LL,
+     1134812960LL, 1135173941LL, 1134996082LL, 1135156183LL, 1135204132LL},
+    {2, 2, 2, 2, 2, 2, 2, 2, 2, 2},
+    1156570ULL, 6781ULL, 6760ULL};
+
+bool PrintRequested() {
+  const char* v = std::getenv("OLYMPIAN_GOLDEN_PRINT");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+TEST(GoldenDeterminismTest, BaselineMatchesGoldenAndReplays) {
+  const GoldenRun a = RunWorkload(/*olympian=*/false);
+  const GoldenRun b = RunWorkload(/*olympian=*/false);
+  EXPECT_EQ(a, b) << "same-seed replay diverged within one build";
+  if (PrintRequested()) {
+    PrintGolden("kGoldenBaseline", a);
+    return;
+  }
+  EXPECT_EQ(a, kGoldenBaseline) << "baseline run diverged from golden values";
+}
+
+TEST(GoldenDeterminismTest, OlympianMatchesGoldenAndReplays) {
+  const GoldenRun a = RunWorkload(/*olympian=*/true);
+  const GoldenRun b = RunWorkload(/*olympian=*/true);
+  EXPECT_EQ(a, b) << "same-seed replay diverged within one build";
+  if (PrintRequested()) {
+    PrintGolden("kGoldenOlympian", a);
+    return;
+  }
+  EXPECT_EQ(a, kGoldenOlympian) << "Olympian run diverged from golden values";
+}
+
+}  // namespace
+}  // namespace olympian

@@ -234,6 +234,77 @@ TEST(EnvironmentTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(ticks, 10);
 }
 
+TEST(EnvironmentTest, RunUntilAdvancesClockToDeadlineWhenDrained) {
+  Environment env;
+  env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(2));
+  }(env));
+  // The queue drains at t=2ms, well before the deadline; the clock must
+  // still land exactly on the deadline (same as the non-drained branch).
+  bool drained = env.RunUntil(TimePoint() + Duration::Millis(10));
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(env.Now(), TimePoint() + Duration::Millis(10));
+  // A later window continues from there.
+  drained = env.RunUntil(TimePoint() + Duration::Millis(20));
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(env.Now(), TimePoint() + Duration::Millis(20));
+}
+
+TEST(EnvironmentTest, RunUntilDrainedClockNeverMovesBackward) {
+  Environment env;
+  env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(5));
+  }(env));
+  env.Run();
+  EXPECT_EQ(env.Now(), TimePoint() + Duration::Millis(5));
+  // Draining an empty queue with an already-passed deadline is a no-op on
+  // the clock.
+  EXPECT_TRUE(env.RunUntil(TimePoint() + Duration::Millis(3)));
+  EXPECT_EQ(env.Now(), TimePoint() + Duration::Millis(5));
+}
+
+// The exception-reporting contract documented on Process::Join: an error
+// delivered to joiners registered at completion time is considered handled,
+// even if every joiner swallows it — Run() must not rethrow it.
+TEST(EnvironmentTest, JoinedProcessExceptionIsNotReportedFromRun) {
+  Environment env;
+  Process p = env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+    throw std::runtime_error("boom");
+  }(env));
+  bool caught = false;
+  env.Spawn([](Process proc, bool& out) -> Task {
+    try {
+      co_await proc.Join();
+    } catch (const std::runtime_error&) {
+      out = true;  // swallow: the error still counts as handled
+    }
+  }(p, caught));
+  EXPECT_NO_THROW(env.Run());
+  EXPECT_TRUE(caught);
+}
+
+// ...whereas with no joiner registered at completion, the error surfaces
+// from Run(), and a late Join() still rethrows the same exception.
+TEST(EnvironmentTest, UnjoinedExceptionSurfacesFromRunAndLateJoin) {
+  Environment env;
+  Process p = env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+    throw std::runtime_error("boom");
+  }(env));
+  EXPECT_THROW(env.Run(), std::runtime_error);
+  bool caught = false;
+  env.Spawn([](Process proc, bool& out) -> Task {
+    try {
+      co_await proc.Join();  // already done: rethrows on the await_ready path
+    } catch (const std::runtime_error&) {
+      out = true;
+    }
+  }(p, caught));
+  env.Run();
+  EXPECT_TRUE(caught);
+}
+
 TEST(EnvironmentTest, TeardownWithLiveProcessesDoesNotLeak) {
   // A process suspended forever is destroyed cleanly with the environment
   // (checked for leaks/UB under ASan in CI; here we just exercise it).
