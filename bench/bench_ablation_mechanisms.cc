@@ -41,6 +41,7 @@ int main() {
                 out.Set("finish_min_s", f.Min());
                 out.Set("finish_max_s", f.Max());
                 out.Set("cv", f.Cv());
+                out.RecordStatuses(r.clients);
               });
   }
 
@@ -75,7 +76,7 @@ int main() {
                                    core::Profiler::ThresholdFor(p, q));
                 }
                 exp.SetHooks(&sched);
-                exp.Run(clients);
+                const auto rr = exp.Run(clients);
                 bench::RunOutcome run;
                 run.quantum_log = sched.quantum_log();
                 const auto stats =
@@ -85,6 +86,7 @@ int main() {
                 out.Set("min_mean_quantum_us", means.Min());
                 out.Set("max_mean_quantum_us", means.Max());
                 out.Set("predicted_q_us", q.micros());
+                out.RecordStatuses(rr);
               });
   }
 
@@ -94,7 +96,9 @@ int main() {
     const auto clients = bench::HomogeneousClients("inception-v4", 100, 2, 3);
     serving::ServerOptions opts;
     opts.seed = 3;
-    out.Set("makespan_s", bench::RunBaseline(opts, clients).makespan.seconds());
+    const auto run = bench::RunBaseline(opts, clients);
+    out.Set("makespan_s", run.makespan.seconds());
+    out.RecordStatuses(run.clients);
   });
   for (int lat : latencies) {
     sweep.Add("resume-" + std::to_string(lat) + "us",
@@ -115,8 +119,9 @@ int main() {
                 sched.SetProfile(p.key, &p.cost,
                                  core::Profiler::ThresholdFor(p, q));
                 exp.SetHooks(&sched);
-                exp.Run(clients);
+                const auto rr = exp.Run(clients);
                 out.Set("makespan_s", exp.makespan().seconds());
+                out.RecordStatuses(rr);
               });
   }
 

@@ -63,7 +63,9 @@ int main() {
               [clients, report](bench::SweepCase& out) {
                 serving::ServerOptions opts;
                 opts.seed = 67;
-                report(out, Summarize(bench::RunBaseline(opts, clients).clients));
+                const auto run = bench::RunBaseline(opts, clients);
+                report(out, Summarize(run.clients));
+                out.RecordStatuses(run.clients);
               });
     sweep.Add("olympian-fair-gap-" + suffix,
               [clients, report](bench::SweepCase& out) {
@@ -71,9 +73,10 @@ int main() {
                 opts.seed = 67;
                 bench::ProfileCache profiles;
                 const auto q = sim::Duration::Micros(1600);
-                report(out, Summarize(
-                    bench::RunOlympian(opts, clients, "fair", q, profiles)
-                        .clients));
+                const auto run =
+                    bench::RunOlympian(opts, clients, "fair", q, profiles);
+                report(out, Summarize(run.clients));
+                out.RecordStatuses(run.clients);
               });
   }
   const auto& results = sweep.RunAll();

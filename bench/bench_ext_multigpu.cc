@@ -32,6 +32,7 @@ void Report(bench::SweepCase& out,
     out.Set("gpu0_cv", per_gpu_cv[0].Cv());
     out.Set("gpu1_cv", per_gpu_cv[1].Cv());
   }
+  out.RecordStatuses(results);
 }
 
 }  // namespace
@@ -85,7 +86,7 @@ int main() {
               << " s, finishes "
               << metrics::Table::Num(r.metrics[1].second, 2) << " - "
               << metrics::Table::Num(r.metrics[2].second, 2) << " s";
-    if (r.metrics.size() > 3) {
+    if (r.metrics.size() > 3 && r.metrics[3].first == "gpu0_cv") {
       std::cout << "  (per-device CV "
                 << metrics::Table::Pct(r.metrics[3].second) << " / "
                 << metrics::Table::Pct(r.metrics[4].second) << ")";

@@ -22,6 +22,7 @@ void Measure(bench::SweepCase& out, serving::Experiment& exp,
   out.Set("makespan_s", exp.makespan().seconds());
   out.Set("mean_watts", exp.gpu().MeanPowerWatts());
   out.Set("joules_per_inference", exp.gpu().EnergyJoules() / inferences);
+  out.RecordStatuses(results);
 }
 
 }  // namespace

@@ -71,24 +71,29 @@ int main() {
   // --- utilization: 10 Inception clients under each scheduler -----------
   bench::SweepRunner sweep("util_scaling");
   sweep.Add("util-tf-serving", [&](bench::SweepCase& out) {
-    out.Set("utilization", bench::RunBaseline(opts, clients).utilization);
+    const auto run = bench::RunBaseline(opts, clients);
+    out.Set("utilization", run.utilization);
+    out.RecordStatuses(run.clients);
   });
   sweep.Add("util-olympian-fair", [&](bench::SweepCase& out) {
     bench::ProfileCache profiles;
-    out.Set("utilization",
-            bench::RunOlympian(opts, clients, "fair", q, profiles).utilization);
+    const auto run = bench::RunOlympian(opts, clients, "fair", q, profiles);
+    out.Set("utilization", run.utilization);
+    out.RecordStatuses(run.clients);
   });
   sweep.Add("util-olympian-weighted-fair", [&](bench::SweepCase& out) {
     bench::ProfileCache profiles;
-    out.Set("utilization",
-            bench::RunOlympian(opts, weighted, "weighted-fair", q, profiles)
-                .utilization);
+    const auto run =
+        bench::RunOlympian(opts, weighted, "weighted-fair", q, profiles);
+    out.Set("utilization", run.utilization);
+    out.RecordStatuses(run.clients);
   });
   sweep.Add("util-olympian-priority", [&](bench::SweepCase& out) {
     bench::ProfileCache profiles;
-    out.Set("utilization",
-            bench::RunOlympian(opts, prio, "priority", q, profiles)
-                .utilization);
+    const auto run =
+        bench::RunOlympian(opts, prio, "priority", q, profiles);
+    out.Set("utilization", run.utilization);
+    out.RecordStatuses(run.clients);
   });
 
   // --- scalability -------------------------------------------------------

@@ -125,6 +125,23 @@ std::string FmtSeconds(sim::Duration d) {
   return metrics::Table::Num(d.seconds(), 2);
 }
 
+void SweepCase::RecordStatuses(
+    const std::vector<serving::ClientResult>& clients) {
+  int ok = 0, timed_out = 0, rejected = 0, retried = 0, failed = 0;
+  for (const auto& c : clients) {
+    ok += c.CountStatus(serving::RequestStatus::kOk);
+    timed_out += c.CountStatus(serving::RequestStatus::kTimedOut);
+    rejected += c.CountStatus(serving::RequestStatus::kRejected);
+    retried += c.CountStatus(serving::RequestStatus::kFailedRetried);
+    failed += c.CountStatus(serving::RequestStatus::kFailed);
+  }
+  Set("req_ok", ok);
+  Set("req_timed_out", timed_out);
+  Set("req_rejected", rejected);
+  Set("req_failed_retried", retried);
+  Set("req_failed", failed);
+}
+
 // --- SweepRunner ------------------------------------------------------------
 
 int SweepRunner::Threads() const {

@@ -94,6 +94,10 @@ struct SweepCase {
   void Set(std::string key, double v) {
     metrics.emplace_back(std::move(key), v);
   }
+  // Per-status request summary (kOk/kTimedOut/kRejected/kFailedRetried/
+  // kFailed counts across all clients) — call from every case that ran a
+  // serving workload so each BENCH_*.json carries the request outcomes.
+  void RecordStatuses(const std::vector<serving::ClientResult>& clients);
 };
 
 // Fans independent (config, seed) runs across OS threads.

@@ -107,6 +107,24 @@ void Scheduler::CancelRun(graph::JobContext& ctx) {
   if (it != job_cvs_.end()) it->second->NotifyAll();
 }
 
+void Scheduler::OnDeviceDown() {
+  ++detaches_;
+  // Every in-flight run was already cancelled via CancelRun, which erases
+  // its entry — but a run registered between the cancellations and this
+  // call (or a cancellation that raced past) must not keep the grant alive
+  // on a dead device. Park the token and wake every suspended gang so its
+  // threads observe their cancelled tokens and drain.
+  jobs_.clear();
+  GrantTo(gpusim::kNoJob);
+  for (auto& [job, cv] : job_cvs_) cv->NotifyAll();
+}
+
+void Scheduler::OnDeviceUp() {
+  ++attaches_;
+  // Nothing to rebuild eagerly: re-admitted runs re-register through
+  // RegisterRun, and the first registration grants the token as usual.
+}
+
 void Scheduler::OnNodeComputed(graph::JobContext& ctx,
                                const graph::Node& node) {
   if (options_.use_wall_clock) return;  // Figure 19 ablation: timer-driven

@@ -94,11 +94,20 @@ class Scheduler : public graph::SchedulingHooks {
   // suspended threads so they observe the cancellation and drain rather
   // than holding pool threads forever. Idempotent.
   void CancelRun(graph::JobContext& ctx) override;
+  // Failover path: the device went down (every in-flight run already went
+  // through CancelRun). Clears leftover registrations, parks the token, and
+  // wakes every suspended gang so nothing waits on a grant that will never
+  // come. OnDeviceUp re-arms the wall timer; registration state rebuilds
+  // itself as re-admitted runs arrive.
+  void OnDeviceDown() override;
+  void OnDeviceUp() override;
 
   // --- introspection -----------------------------------------------------
   gpusim::JobId token() const { return token_; }
   std::uint64_t switches() const { return switches_; }
   std::uint64_t cancellations() const { return cancellations_; }
+  std::uint64_t detaches() const { return detaches_; }
+  std::uint64_t attaches() const { return attaches_; }
   std::uint64_t quanta_completed() const { return quanta_completed_; }
   const std::vector<QuantumRecord>& quantum_log() const { return quantum_log_; }
   const SchedulingPolicy& policy() const { return *policy_; }
@@ -135,6 +144,8 @@ class Scheduler : public graph::SchedulingHooks {
 
   std::uint64_t switches_ = 0;
   std::uint64_t cancellations_ = 0;
+  std::uint64_t detaches_ = 0;
+  std::uint64_t attaches_ = 0;
   std::uint64_t quanta_completed_ = 0;
   std::vector<QuantumRecord> quantum_log_;
 };

@@ -45,6 +45,15 @@ FaultPlan& FaultPlan::DeviceReset(sim::TimePoint at, std::size_t gpu_index) {
   return *this;
 }
 
+FaultPlan& FaultPlan::DeviceReset(sim::TimePoint at, sim::Duration outage,
+                                  std::size_t gpu_index) {
+  events_.push_back(FaultEvent{.kind = FaultKind::kDeviceReset,
+                               .at = at,
+                               .gpu_index = gpu_index,
+                               .duration = outage});
+  return *this;
+}
+
 FaultPlan& FaultPlan::AllocFault(sim::TimePoint at, sim::Duration duration,
                                  std::size_t gpu_index) {
   events_.push_back(FaultEvent{.kind = FaultKind::kAllocFault,
@@ -105,7 +114,14 @@ FaultPlan FaultPlan::Random(const RandomOptions& options, std::uint64_t seed) {
                [&](sim::TimePoint at) {
                  const auto gpu = static_cast<std::size_t>(rng.UniformInt(
                      0, static_cast<std::int64_t>(options.num_gpus) - 1));
-                 plan.DeviceReset(at, gpu);
+                 if (options.mean_reset_outage > sim::Duration::Zero()) {
+                   plan.DeviceReset(at,
+                                    options.mean_reset_outage *
+                                        (-std::log(1.0 - rng.NextDouble())),
+                                    gpu);
+                 } else {
+                   plan.DeviceReset(at, gpu);
+                 }
                });
   DrawArrivals(rng, options.expected_alloc_faults, options.horizon,
                [&](sim::TimePoint at) {
@@ -169,7 +185,7 @@ void FaultInjector::Apply(const FaultEvent& e) {
       if (counters_ != nullptr) ++counters_->device_hangs;
       break;
     case FaultKind::kDeviceReset:
-      gpu.Reset();
+      gpu.Reset(e.duration);
       if (counters_ != nullptr) ++counters_->device_resets;
       break;
     case FaultKind::kAllocFault:

@@ -37,7 +37,23 @@ struct FaultEvent {
   sim::TimePoint at;
   std::size_t gpu_index = 0;
   gpusim::StreamId stream = -1;  // kKernelFailure only
-  sim::Duration duration;        // kDeviceHang / kAllocFault only
+  // kDeviceHang / kAllocFault: window length. kDeviceReset: outage during
+  // which the device stays down (zero = instant reset, legacy semantics).
+  sim::Duration duration;
+};
+
+// How long recovery takes once a reset outage ends. Consumed by the serving
+// layer's health monitor when it orchestrates readmission: driver re-init,
+// parameter reload over PCIe, then a warm-up before traffic resumes.
+struct RecoveryOptions {
+  sim::Duration driver_reinit = sim::Duration::Millis(20);
+  // Host-to-device bandwidth used to charge parameter reload time
+  // (resident_mb / 1024 / pcie_gbps seconds).
+  double pcie_gbps = 12.0;
+  // Fixed warm-up pause after reload before the device serves traffic again.
+  sim::Duration warmup = sim::Duration::Millis(5);
+  // Heartbeat probes that must succeed during warm-up before readmission.
+  int warmup_probes = 2;
 };
 
 // A declarative schedule of faults on the virtual clock. Build one with the
@@ -51,6 +67,10 @@ class FaultPlan {
   FaultPlan& DeviceHang(sim::TimePoint at, sim::Duration duration,
                         std::size_t gpu_index = 0);
   FaultPlan& DeviceReset(sim::TimePoint at, std::size_t gpu_index = 0);
+  // Reset with a down window: submissions fail fast until `outage` elapses,
+  // then the device signals completion to its health listener.
+  FaultPlan& DeviceReset(sim::TimePoint at, sim::Duration outage,
+                         std::size_t gpu_index);
   FaultPlan& AllocFault(sim::TimePoint at, sim::Duration duration,
                         std::size_t gpu_index = 0);
 
@@ -68,6 +88,9 @@ class FaultPlan {
     double expected_hangs = 0.0;
     sim::Duration mean_hang = sim::Duration::Millis(20);
     double expected_resets = 0.0;
+    // Mean down-window per reset; zero keeps legacy instant resets (and
+    // draws no extra random number, preserving existing plans bit-for-bit).
+    sim::Duration mean_reset_outage = sim::Duration::Zero();
     double expected_alloc_faults = 0.0;
     sim::Duration mean_alloc_window = sim::Duration::Millis(10);
   };

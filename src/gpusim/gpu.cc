@@ -47,6 +47,14 @@ void Gpu::Enqueue(StreamId stream, const KernelDesc& desc,
   if (desc.block_work < sim::Duration::Zero()) {
     throw std::invalid_argument("kernel block work must be non-negative");
   }
+  if (down_) {
+    // The driver is gone for the rest of the outage: the launch returns an
+    // error immediately instead of queueing (a cudaErrorDeviceUnavailable).
+    ++kernels_failed_;
+    if (failed_out != nullptr) *failed_out = true;
+    if (waiter) env_.ScheduleNow(waiter);
+    return;
+  }
   auto k = std::make_unique<Kernel>();
   k->desc = desc;
   k->blocks_left = desc.thread_blocks;
@@ -74,6 +82,7 @@ void Gpu::MarkReady(StreamId id) {
 void Gpu::Dispatch() {
   if (dispatching_) return;  // re-entrancy guard (Enqueue during callbacks)
   if (hung_) return;         // wedged driver: issue nothing until the hang ends
+  if (down_) return;         // reset outage: the driver is gone entirely
   dispatching_ = true;
   while (free_slots_ > 0) {
     Stream* cur =
@@ -252,6 +261,7 @@ void Gpu::Hang(sim::Duration d) {
   const sim::TimePoint until = env_.Now() + d;
   if (until > hang_until_) hang_until_ = until;
   hung_ = true;
+  if (listener_ != nullptr) listener_->OnHangBegin(hang_until_);
   env_.ScheduleCallbackAt(hang_until_, &Gpu::HangTrampoline, this, 0);
 }
 
@@ -261,22 +271,38 @@ void Gpu::HangTrampoline(void* ctx, std::uint64_t arg) {
   if (!self->hung_) return;
   if (self->env_.Now() < self->hang_until_) return;  // extended meanwhile
   self->hung_ = false;
+  if (self->listener_ != nullptr) self->listener_->OnHangEnd();
   self->Dispatch();
 }
 
-void Gpu::Reset() {
+void Gpu::FailQueued(Stream& s) {
+  // Queued (never started) kernels fail immediately.
+  for (auto& k : s.queue) {
+    ++kernels_failed_;
+    if (k->failed_out != nullptr) *k->failed_out = true;
+    if (k->waiter) env_.ScheduleNow(k->waiter);
+  }
+  s.queue.clear();
+}
+
+void Gpu::Reset(sim::Duration outage) {
   ++resets_;
   hung_ = false;
   hang_until_ = env_.Now();
+  if (outage > sim::Duration::Zero()) {
+    const sim::TimePoint until = env_.Now() + outage;
+    if (until > down_until_) down_until_ = until;
+    down_ = true;  // set before the listener runs: suppresses nested dispatch
+    env_.ScheduleCallbackAt(down_until_, &Gpu::DownTrampoline, this, 0);
+  }
+  // Notify the listener before any failed kernel's waiter is scheduled: a
+  // failover controller reacting here marks the device down (and cancels
+  // in-flight runs with a failover reason) before the submitters observe
+  // their KernelFailed.
+  if (listener_ != nullptr) listener_->OnResetBegin(outage);
   for (auto& sp : streams_) {
     Stream& s = *sp;
-    // Queued (never started) kernels fail immediately.
-    for (auto& k : s.queue) {
-      ++kernels_failed_;
-      if (k->failed_out != nullptr) *k->failed_out = true;
-      if (k->waiter) env_.ScheduleNow(k->waiter);
-    }
-    s.queue.clear();
+    FailQueued(s);
     if (s.active) {
       // An executing kernel issues no further waves and retires failed once
       // the waves already on the SMs drain (the reset does not rewind time
@@ -287,12 +313,40 @@ void Gpu::Reset() {
       if (k->in_flight == 0) RetireKernel(s);
     }
   }
+  if (down_) return;  // dispatch resumes when the outage ends
+  if (listener_ != nullptr) listener_->OnResetComplete();
+  Dispatch();
+}
+
+void Gpu::DownTrampoline(void* ctx, std::uint64_t arg) {
+  (void)arg;
+  auto* self = static_cast<Gpu*>(ctx);
+  if (!self->down_) return;
+  if (self->env_.Now() < self->down_until_) return;  // extended meanwhile
+  self->down_ = false;
+  if (self->listener_ != nullptr) self->listener_->OnResetComplete();
+  self->Dispatch();
+}
+
+void Gpu::AbortStream(StreamId stream) {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw std::out_of_range("AbortStream on unknown stream");
+  }
+  Stream& s = *streams_[static_cast<std::size_t>(stream)];
+  FailQueued(s);
+  if (s.active) {
+    Kernel* k = s.active.get();
+    k->failed = true;
+    k->blocks_left = 0;
+    if (k->in_flight == 0) RetireKernel(s);
+  }
   Dispatch();
 }
 
 void Gpu::InjectAllocFault(sim::Duration d) {
   const sim::TimePoint until = env_.Now() + d;
   if (until > alloc_fault_until_) alloc_fault_until_ = until;
+  if (listener_ != nullptr) listener_->OnAllocFaultWindow(alloc_fault_until_);
 }
 
 bool Gpu::alloc_fault_active() const {

@@ -37,6 +37,30 @@ struct TransientAllocFailure : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Receives device-level fault/recovery signals from the Gpu as they happen
+// on the virtual clock. Implemented by the serving layer's HealthMonitor;
+// all callbacks run synchronously inside the Gpu call that caused them, so
+// a listener reacting to OnResetBegin observes the device *before* the
+// failed kernels' waiters run (their resumes are scheduled, not inline).
+class GpuHealthListener {
+ public:
+  virtual ~GpuHealthListener() = default;
+  // Driver hang began (or was extended); the device stops issuing waves
+  // until `until`.
+  virtual void OnHangBegin(sim::TimePoint until) { (void)until; }
+  // The hang cleared and dispatch resumed.
+  virtual void OnHangEnd() {}
+  // A reset started; the device is down (submissions fail fast) until
+  // `outage` elapses. An `outage` of zero means the legacy instant reset:
+  // OnResetComplete fires in the same call.
+  virtual void OnResetBegin(sim::Duration outage) { (void)outage; }
+  // The reset outage elapsed: the driver dispatches again. Recovery above
+  // this layer (re-init, parameter reload, warm-up) has NOT happened yet.
+  virtual void OnResetComplete() {}
+  // A transient-allocation-fault window opened (or was extended) to `until`.
+  virtual void OnAllocFaultWindow(sim::TimePoint until) { (void)until; }
+};
+
 // A simulated GPU plus its driver.
 //
 // Submission: CPU-side code (the dataflow executor) calls `Submit` on a
@@ -124,13 +148,47 @@ class Gpu {
   // Full device reset: every queued kernel fails immediately and every
   // executing kernel fails as its in-flight waves drain. Clears any hang.
   // Memory reservations survive (the serving layer owns that lifecycle).
-  void Reset();
+  //
+  // With a positive `outage` the device then stays *down* until it elapses:
+  // every kernel submitted in the window fails fast at Enqueue (the driver
+  // is gone; launches return an error immediately) and dispatch is stopped.
+  // When the outage ends the listener's OnResetComplete fires and dispatch
+  // resumes — higher layers model re-init/reload/warm-up on top of that
+  // signal. Overlapping outages extend to the furthest end point. An outage
+  // of zero preserves the legacy instantaneous-reset semantics.
+  void Reset(sim::Duration outage);
+  void Reset() { Reset(sim::Duration::Zero()); }
+
+  // Abort one stream: queued kernels fail immediately; the active kernel
+  // issues no further waves and retires failed once in-flight waves drain.
+  // This is how a failover controller releases submitters stuck behind a
+  // wedged device without resetting it (per-stream, not device-wide).
+  void AbortStream(StreamId stream);
 
   // Open a transient-allocation-fault window: AllocateMemory throws
   // TransientAllocFailure until `d` elapses. Overlapping windows extend.
   void InjectAllocFault(sim::Duration d);
 
+  // Install the health listener (at most one; nullptr detaches). Must
+  // outlive the device or be detached first.
+  void SetHealthListener(GpuHealthListener* listener) { listener_ = listener; }
+
+  // Point-in-time device health, for pollers (the listener callbacks are
+  // the push-style equivalent).
+  struct HealthSnapshot {
+    bool hung = false;
+    bool down = false;  // inside a reset outage window
+    bool alloc_fault = false;
+    std::uint64_t resets = 0;
+    std::uint64_t kernels_failed = 0;
+  };
+  HealthSnapshot Health() const {
+    return HealthSnapshot{hung_, down_, alloc_fault_active(), resets_,
+                          kernels_failed_};
+  }
+
   bool hung() const { return hung_; }
+  bool down() const { return down_; }
   bool alloc_fault_active() const;
 
   // --- memory accounting ----------------------------------------------
@@ -208,8 +266,10 @@ class Gpu {
   void MarkReady(StreamId id);
   void OnWaveDone(std::uint64_t wave_slot);
   void RetireKernel(Stream& s);  // s.active retired (ok or failed)
+  void FailQueued(Stream& s);    // fail every queued kernel immediately
   static void WaveTrampoline(void* ctx, std::uint64_t arg);
   static void HangTrampoline(void* ctx, std::uint64_t arg);
+  static void DownTrampoline(void* ctx, std::uint64_t arg);
   void NoteOccupancyChange(std::int64_t delta);
   metrics::BusyMeter& JobMeter(JobId job);
 
@@ -244,6 +304,9 @@ class Gpu {
   bool hung_ = false;
   sim::TimePoint hang_until_;
   sim::TimePoint alloc_fault_until_;
+  bool down_ = false;  // inside a reset outage window
+  sim::TimePoint down_until_;
+  GpuHealthListener* listener_ = nullptr;
 };
 
 }  // namespace olympian::gpusim

@@ -15,6 +15,8 @@ enum class CancelReason : std::uint8_t {
   kNone = 0,
   kDeadline,      // the request's deadline elapsed
   kKernelFailed,  // a GPU kernel retired with an error (fault injection)
+  kFailover,      // the device went down; the request moves to a replica
+                  // without consuming its retry budget
 };
 
 // Per-request cancellation token. The issuer (serving layer) points
@@ -100,6 +102,14 @@ class SchedulingHooks {
   // threads in the pool. Idempotent; default is a no-op (stock TF-Serving
   // has no scheduler state to release).
   virtual void CancelRun(JobContext& ctx) { (void)ctx; }
+
+  // Failover lifecycle of the device this scheduler manages. OnDeviceDown
+  // is called after every in-flight run has been cancelled (CancelRun):
+  // implementations drop any remaining registration state and park the
+  // grant. OnDeviceUp is called when the health layer readmits the device;
+  // traffic resumes through the normal RegisterRun path. Defaults no-op.
+  virtual void OnDeviceDown() {}
+  virtual void OnDeviceUp() {}
 };
 
 }  // namespace olympian::graph

@@ -27,6 +27,16 @@ void ServingCounters::Print(std::ostream& os) const {
   Row(os, "transient_alloc_failures", transient_alloc_failures);
   Row(os, "kernel_failures_observed", kernel_failures_observed);
   Row(os, "deadline_cancellations", deadline_cancellations);
+  Row(os, "health_transitions", health_transitions);
+  Row(os, "device_down_events", device_down_events);
+  Row(os, "device_readmissions", device_readmissions);
+  Row(os, "probe_failures", probe_failures);
+  Row(os, "failover_cancellations", failover_cancellations);
+  Row(os, "requests_failed_over", requests_failed_over);
+  Row(os, "requests_rejected_no_device", requests_rejected_no_device);
+  Row(os, "replica_instantiations", replica_instantiations);
+  Row(os, "hedges_launched", hedges_launched);
+  Row(os, "hedge_wins", hedge_wins);
 }
 
 }  // namespace olympian::metrics

@@ -34,6 +34,20 @@ struct ServingCounters {
   std::uint64_t kernel_failures_observed = 0;
   std::uint64_t deadline_cancellations = 0;
 
+  // --- health / failover (incremented by HealthMonitor + Experiment) -----
+  std::uint64_t health_transitions = 0;   // any device health-state edge
+  std::uint64_t device_down_events = 0;   // healthy/degraded -> down edges
+  std::uint64_t device_readmissions = 0;  // recovery pipelines completed
+  std::uint64_t probe_failures = 0;       // heartbeat kernels that failed
+  std::uint64_t failover_cancellations = 0;  // in-flight runs killed on down
+  std::uint64_t requests_failed_over = 0;    // re-admitted on another device
+  // Rejected because *no* usable device remained (subset of
+  // requests_rejected; the all-devices-down fast path).
+  std::uint64_t requests_rejected_no_device = 0;
+  std::uint64_t replica_instantiations = 0;  // lazy model loads on failover
+  std::uint64_t hedges_launched = 0;         // duplicates sent while degraded
+  std::uint64_t hedge_wins = 0;              // hedge finished first / rescued
+
   std::uint64_t requests_total() const {
     return requests_ok + requests_retried_ok + requests_timed_out +
            requests_rejected + requests_failed;

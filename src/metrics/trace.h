@@ -28,6 +28,9 @@ class Tracer {
   static constexpr std::int64_t kSchedulerTrack = -1;
   // Track used by the fault injector for injected fault events.
   static constexpr std::int64_t kFaultTrack = -2;
+  // Track used by the health monitor for device state transitions and
+  // outage spans.
+  static constexpr std::int64_t kHealthTrack = -3;
 
   void AddSpan(const char* category, std::string name, std::int64_t track,
                sim::TimePoint start, sim::TimePoint end);

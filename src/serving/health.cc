@@ -1,0 +1,306 @@
+#include "serving/health.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace olympian::serving {
+
+namespace {
+
+// Timer args carry (device, generation): the generation low bits are enough
+// to disambiguate episodes (a device does not go down 2^32 times per run).
+std::uint64_t Pack(std::size_t gpu, std::uint64_t generation) {
+  return (static_cast<std::uint64_t>(gpu) << 32) | (generation & 0xffffffffu);
+}
+std::size_t UnpackGpu(std::uint64_t arg) {
+  return static_cast<std::size_t>(arg >> 32);
+}
+std::uint64_t UnpackGeneration(std::uint64_t arg) { return arg & 0xffffffffu; }
+
+}  // namespace
+
+const char* ToString(DeviceHealth h) {
+  switch (h) {
+    case DeviceHealth::kHealthy:
+      return "healthy";
+    case DeviceHealth::kDegraded:
+      return "degraded";
+    case DeviceHealth::kDown:
+      return "down";
+    case DeviceHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(sim::Environment& env,
+                             std::vector<gpusim::Gpu*> gpus,
+                             HealthMonitorOptions options,
+                             fault::RecoveryOptions recovery,
+                             HealthObserver* observer,
+                             metrics::ServingCounters* counters,
+                             metrics::Tracer* tracer)
+    : env_(env),
+      options_(options),
+      recovery_(recovery),
+      observer_(observer != nullptr ? observer : this),
+      counters_(counters),
+      tracer_(tracer) {
+  if (gpus.empty()) throw std::invalid_argument("HealthMonitor needs >= 1 gpu");
+  devices_.reserve(gpus.size());
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    auto d = std::make_unique<Device>();
+    d->gpu = gpus[i];
+    d->listener.monitor = this;
+    d->listener.index = i;
+    devices_.push_back(std::move(d));
+  }
+}
+
+HealthMonitor::~HealthMonitor() {
+  if (!started_) return;
+  for (auto& d : devices_) d->gpu->SetHealthListener(nullptr);
+}
+
+void HealthMonitor::Start() {
+  if (started_) throw std::logic_error("HealthMonitor::Start called twice");
+  started_ = true;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    Device& d = *devices_[i];
+    d.probe_stream = d.gpu->CreateStream();
+    d.gpu->SetHealthListener(&d.listener);
+    d.state_since = env_.Now();
+    if (options_.probe_interval > sim::Duration::Zero()) {
+      env_.Spawn(ProbeLoop(i), "health/probe-gpu" + std::to_string(i));
+    }
+  }
+}
+
+void HealthMonitor::Stop() { stopped_ = true; }
+
+DeviceHealth HealthMonitor::health(std::size_t gpu) const {
+  return devices_.at(gpu)->health;
+}
+
+bool HealthMonitor::Usable(std::size_t gpu) const {
+  const DeviceHealth h = devices_.at(gpu)->health;
+  return h == DeviceHealth::kHealthy || h == DeviceHealth::kDegraded;
+}
+
+const HealthMonitor::DeviceStats& HealthMonitor::stats(std::size_t gpu) const {
+  return devices_.at(gpu)->stats;
+}
+
+sim::Duration HealthMonitor::Mttr(std::size_t gpu) const {
+  const DeviceStats& s = devices_.at(gpu)->stats;
+  if (s.readmissions == 0) return sim::Duration::Zero();
+  return s.mttr_total / static_cast<std::int64_t>(s.readmissions);
+}
+
+void HealthMonitor::Transition(std::size_t gpu, DeviceHealth to) {
+  Device& d = *devices_[gpu];
+  if (d.health == to) return;
+  const sim::TimePoint now = env_.Now();
+  const sim::Duration in_state = now - d.state_since;
+  if (d.health == DeviceHealth::kDegraded) {
+    d.stats.time_degraded += in_state;
+  } else if (d.health == DeviceHealth::kDown ||
+             d.health == DeviceHealth::kRecovering) {
+    d.stats.time_down += in_state;
+  }
+  transitions_.push_back(
+      HealthTransition{.gpu = gpu, .from = d.health, .to = to, .at = now});
+  d.health = to;
+  d.state_since = now;
+  if (counters_ != nullptr) ++counters_->health_transitions;
+  if (tracer_ != nullptr && !tracer_->full()) {
+    tracer_->AddInstant("health",
+                        "gpu" + std::to_string(gpu) + ": " + ToString(to),
+                        metrics::Tracer::kHealthTrack, now);
+  }
+}
+
+void HealthMonitor::GoDown(std::size_t gpu, bool from_hang) {
+  Device& d = *devices_[gpu];
+  if (d.health == DeviceHealth::kDown ||
+      d.health == DeviceHealth::kRecovering) {
+    // Failed again before readmission: same outage episode, but a reset
+    // forces the full recovery pipeline even if the episode began as a hang.
+    ++d.generation;
+    d.down_from_hang = d.down_from_hang && from_hang;
+    Transition(gpu, DeviceHealth::kDown);
+    return;
+  }
+  ++d.generation;
+  ++d.hang_epoch;
+  d.down_from_hang = from_hang;
+  d.down_since = env_.Now();
+  ++d.stats.down_events;
+  if (counters_ != nullptr) ++counters_->device_down_events;
+  Transition(gpu, DeviceHealth::kDown);
+  // After the bookkeeping, so the observer sees a consistent kDown state
+  // while it cancels the device's in-flight runs.
+  observer_->OnDeviceDown(gpu);
+}
+
+void HealthMonitor::Readmit(std::size_t gpu) {
+  Device& d = *devices_[gpu];
+  const sim::TimePoint now = env_.Now();
+  d.stats.mttr_total += now - d.down_since;
+  ++d.stats.readmissions;
+  ++d.generation;  // invalidate leftover escalation timers from the episode
+  if (counters_ != nullptr) ++counters_->device_readmissions;
+  if (tracer_ != nullptr && !tracer_->full()) {
+    tracer_->AddSpan("health", "gpu" + std::to_string(gpu) + " outage",
+                     metrics::Tracer::kHealthTrack, d.down_since, now);
+  }
+  Transition(gpu, DeviceHealth::kHealthy);
+  observer_->OnDeviceReadmitted(gpu);
+}
+
+sim::Task HealthMonitor::RecoveryProc(std::size_t gpu,
+                                      std::uint64_t generation,
+                                      bool full_reinit) {
+  Device& d = *devices_[gpu];
+  if (full_reinit) {
+    if (recovery_.driver_reinit > sim::Duration::Zero()) {
+      co_await env_.Delay(recovery_.driver_reinit);
+      if (d.generation != generation) co_return;  // failed again meanwhile
+    }
+    const sim::Duration reload = observer_->ParamsReloadCost(gpu);
+    if (reload > sim::Duration::Zero()) {
+      co_await env_.Delay(reload);
+      if (d.generation != generation) co_return;
+    }
+  }
+  Transition(gpu, DeviceHealth::kRecovering);
+  for (int p = 0; p < recovery_.warmup_probes; ++p) {
+    bool ok = true;
+    try {
+      co_await d.gpu->Submit(
+          d.probe_stream,
+          gpusim::KernelDesc{.job = gpusim::kNoJob,
+                             .node_id = -1,
+                             .thread_blocks = options_.probe_blocks,
+                             .block_work = options_.probe_work});
+    } catch (const gpusim::KernelFailed&) {
+      ok = false;
+    }
+    if (d.generation != generation) co_return;
+    if (!ok) {
+      ++d.stats.probe_failures;
+      if (counters_ != nullptr) ++counters_->probe_failures;
+    }
+  }
+  if (recovery_.warmup > sim::Duration::Zero()) {
+    co_await env_.Delay(recovery_.warmup);
+    if (d.generation != generation) co_return;
+  }
+  Readmit(gpu);
+}
+
+sim::Task HealthMonitor::ProbeLoop(std::size_t gpu) {
+  Device& d = *devices_[gpu];
+  for (;;) {
+    co_await env_.Delay(options_.probe_interval);
+    if (stopped_) co_return;
+    // Inside an outage submissions fail fast and tell us nothing the
+    // listener has not already said; skip the beat.
+    if (d.gpu->down()) continue;
+    bool ok = true;
+    try {
+      co_await d.gpu->Submit(
+          d.probe_stream,
+          gpusim::KernelDesc{.job = gpusim::kNoJob,
+                             .node_id = -1,
+                             .thread_blocks = options_.probe_blocks,
+                             .block_work = options_.probe_work});
+    } catch (const gpusim::KernelFailed&) {
+      ok = false;
+    }
+    if (stopped_) co_return;
+    if (!ok) {
+      ++d.stats.probe_failures;
+      if (counters_ != nullptr) ++counters_->probe_failures;
+    }
+  }
+}
+
+void HealthMonitor::HandleHangBegin(std::size_t gpu, sim::TimePoint until) {
+  (void)until;
+  Device& d = *devices_[gpu];
+  if (d.health == DeviceHealth::kHealthy) {
+    Transition(gpu, DeviceHealth::kDegraded);
+  }
+  if (d.health == DeviceHealth::kDegraded &&
+      options_.hang_down_after > sim::Duration::Zero()) {
+    env_.ScheduleCallbackAt(env_.Now() + options_.hang_down_after,
+                            &HealthMonitor::HangEscalateTrampoline, this,
+                            Pack(gpu, d.hang_epoch));
+  }
+}
+
+void HealthMonitor::HandleHangEnd(std::size_t gpu) {
+  Device& d = *devices_[gpu];
+  ++d.hang_epoch;  // disarm any pending escalation for the ended hang
+  if (d.health == DeviceHealth::kDegraded) {
+    if (!d.gpu->alloc_fault_active()) {
+      Transition(gpu, DeviceHealth::kHealthy);
+    }
+    return;
+  }
+  if (d.health == DeviceHealth::kDown && d.down_from_hang) {
+    // The wedged channel finally cleared: the driver was never reset, so
+    // recovery skips re-init and reload and goes straight to warm-up.
+    env_.Spawn(RecoveryProc(gpu, d.generation, /*full_reinit=*/false),
+               "health/recover-gpu" + std::to_string(gpu));
+  }
+}
+
+void HealthMonitor::HandleResetBegin(std::size_t gpu, sim::Duration outage) {
+  (void)outage;
+  GoDown(gpu, /*from_hang=*/false);
+}
+
+void HealthMonitor::HandleResetComplete(std::size_t gpu) {
+  Device& d = *devices_[gpu];
+  if (d.health != DeviceHealth::kDown) return;
+  env_.Spawn(RecoveryProc(gpu, d.generation, /*full_reinit=*/true),
+             "health/recover-gpu" + std::to_string(gpu));
+}
+
+void HealthMonitor::HandleAllocFaultWindow(std::size_t gpu,
+                                           sim::TimePoint until) {
+  Device& d = *devices_[gpu];
+  if (d.health == DeviceHealth::kHealthy) {
+    Transition(gpu, DeviceHealth::kDegraded);
+  }
+  if (d.health == DeviceHealth::kDegraded) {
+    env_.ScheduleCallbackAt(until, &HealthMonitor::AllocClearTrampoline, this,
+                            Pack(gpu, 0));
+  }
+}
+
+void HealthMonitor::HangEscalateTrampoline(void* ctx, std::uint64_t arg) {
+  auto* self = static_cast<HealthMonitor*>(ctx);
+  const std::size_t gpu = UnpackGpu(arg);
+  Device& d = *self->devices_[gpu];
+  if ((d.hang_epoch & 0xffffffffu) != UnpackGeneration(arg)) return;
+  if (d.health != DeviceHealth::kDegraded) return;
+  if (!d.gpu->hung()) return;  // cleared at this exact instant
+  self->GoDown(gpu, /*from_hang=*/true);
+}
+
+void HealthMonitor::AllocClearTrampoline(void* ctx, std::uint64_t arg) {
+  // No epoch needed: a stale timer observes the window still open (it was
+  // extended) or the device in some other state, and is a no-op either way.
+  auto* self = static_cast<HealthMonitor*>(ctx);
+  const std::size_t gpu = UnpackGpu(arg);
+  Device& d = *self->devices_[gpu];
+  if (d.health != DeviceHealth::kDegraded) return;
+  if (d.gpu->hung() || d.gpu->alloc_fault_active()) return;  // still impaired
+  self->Transition(gpu, DeviceHealth::kHealthy);
+}
+
+}  // namespace olympian::serving

@@ -91,11 +91,11 @@ void Experiment::FinishManualRun() {
   env_.Run();
 }
 
-sim::Task Experiment::ClientProc(graph::JobContext& ctx, const graph::Graph& g,
+sim::Task Experiment::ClientProc(std::size_t client_index,
+                                 graph::JobContext& ctx, const graph::Graph& g,
                                  ClientSpec spec, std::uint64_t seed,
                                  ClientResult& out) {
   sim::Rng rng(seed);
-  graph::Executor& exec = executor(out.gpu_index);
   const bool open_loop = spec.mean_interarrival > sim::Duration::Zero();
   sim::TimePoint arrival;  // request b's arrival instant (t=0 for b=0)
   for (int b = 0; b < spec.num_batches; ++b) {
@@ -112,8 +112,8 @@ sim::Task Experiment::ClientProc(graph::JobContext& ctx, const graph::Graph& g,
       arrival = env_.Now();
     }
     RequestStatus status = RequestStatus::kOk;
-    co_await RunRequest(ctx, g, spec, exec, rng, arrival, out.gpu_index,
-                        status);
+    co_await RunRequest(client_index, ctx, g, spec, rng, arrival,
+                        out.gpu_index, status);
     out.request_latency_ms.push_back((env_.Now() - arrival).millis());
     out.request_status.push_back(status);
     if (status == RequestStatus::kOk ||
@@ -122,7 +122,19 @@ sim::Task Experiment::ClientProc(graph::JobContext& ctx, const graph::Graph& g,
     }
   }
   out.finish_time = env_.Now() - sim::TimePoint();
-  out.gpu_duration = gpus_[out.gpu_index]->JobGpuDuration(ctx.job);
+  if (health_ != nullptr) {
+    // Under failover the client's work may have spanned devices: sum the
+    // GPU duration of every context it ran on.
+    out.gpu_duration = sim::Duration::Zero();
+    for (const auto& [key, c] : client_gpu_ctx_) {
+      if (key.first == client_index) {
+        out.gpu_duration += gpus_[key.second]->JobGpuDuration(c->job);
+      }
+    }
+    if (--remaining_clients_ == 0) health_->Stop();
+  } else {
+    out.gpu_duration = gpus_[out.gpu_index]->JobGpuDuration(ctx.job);
+  }
 }
 
 CircuitBreaker* Experiment::BreakerFor(const std::string& model) {
@@ -134,16 +146,19 @@ CircuitBreaker* Experiment::BreakerFor(const std::string& model) {
   return slot.get();
 }
 
-sim::Task Experiment::RunRequest(graph::JobContext& ctx, const graph::Graph& g,
-                                 const ClientSpec& spec, graph::Executor& exec,
+sim::Task Experiment::RunRequest(std::size_t client_index,
+                                 graph::JobContext& primary_ctx,
+                                 const graph::Graph& g, const ClientSpec& spec,
                                  sim::Rng& rng, sim::TimePoint arrival,
-                                 std::size_t gpu_index, RequestStatus& status) {
+                                 std::size_t primary_gpu,
+                                 RequestStatus& status) {
   const DegradationOptions& deg = options_.degradation;
   const bool has_deadline = spec.deadline > sim::Duration::Zero();
   const sim::TimePoint deadline = arrival + spec.deadline;
   CircuitBreaker* breaker = BreakerFor(spec.model);
+  const bool failover = health_ != nullptr;
 
-  for (int attempt = 1;; ++attempt) {
+  for (int attempt = 1;;) {
     if (has_deadline && env_.Now() >= deadline) {
       status = RequestStatus::kTimedOut;
       ++counters_.requests_timed_out;
@@ -171,6 +186,49 @@ sim::Task Experiment::RunRequest(graph::JobContext& ctx, const graph::Graph& g,
       co_return;
     }
 
+    // Route this attempt. Legacy: the static round-robin pin. Failover:
+    // per-request placement over usable replicas.
+    std::size_t gpu_index = primary_gpu;
+    graph::JobContext* ctx = &primary_ctx;
+    if (failover) {
+      gpu_index = placer_->Route(spec.model, primary_gpu);
+      if (gpu_index == Placer::kNoDevice) {
+        // Every device is down: terminate promptly as a rejection instead
+        // of stalling until deadlines (or ServerStalled) fire.
+        ++counters_.requests_rejected_no_device;
+        ++counters_.requests_rejected;
+        status = RequestStatus::kRejected;
+        co_await env_.Delay(deg.reject_backoff);
+        co_return;
+      }
+      bool replica_ok = true;
+      co_await EnsureReplica(client_index, spec, gpu_index, replica_ok);
+      if (!replica_ok) {
+        ++counters_.transient_alloc_failures;
+        // Fall through to the failure path below as a retryable transient.
+        if (breaker != nullptr && breaker->OnFailure(env_.Now())) {
+          ++counters_.breaker_opens;
+        }
+        if (attempt > deg.retry.max_retries) {
+          status = RequestStatus::kFailed;
+          ++counters_.requests_failed;
+          co_return;
+        }
+        ++counters_.retries;
+        ++attempt;
+        co_await env_.Delay(deg.reject_backoff);
+        continue;
+      }
+      ctx = ClientContext(client_index, gpu_index);
+      if (!health_->Usable(gpu_index)) continue;  // went down while loading
+      if (ctx->cancel != nullptr) {
+        // A draining hedge of a previous request still owns this context;
+        // let it finish (it was cancelled, so it drains fast).
+        co_await env_.Delay(deg.reject_backoff);
+        continue;
+      }
+    }
+
     bool failed = false;
     graph::CancelReason reason = graph::CancelReason::kNone;
     if (gpus_[gpu_index]->alloc_fault_active()) {
@@ -179,18 +237,63 @@ sim::Task Experiment::RunRequest(graph::JobContext& ctx, const graph::Graph& g,
       ++counters_.transient_alloc_failures;
       failed = true;
     } else {
-      auto token = std::make_shared<graph::CancelToken>();
-      ctx.cancel = token.get();
-      if (has_deadline) {
-        env_.Spawn(DeadlineWatchdog(token, &ctx, gpu_index, deadline),
-                   ctx.client_name + "/watchdog");
+      // Hedge: the routed device is impaired but not down — race a
+      // duplicate on another usable replica for tail tolerance.
+      std::shared_ptr<HedgeState> hedge;
+      if (failover && options_.failover.hedge_when_degraded &&
+          health_->health(gpu_index) == DeviceHealth::kDegraded) {
+        const std::size_t alt =
+            placer_->Route(spec.model, primary_gpu, gpu_index);
+        if (alt != Placer::kNoDevice && alt != gpu_index) {
+          hedge = std::make_shared<HedgeState>(env_);
+          ++counters_.hedges_launched;
+          env_.Spawn(HedgeProc(client_index, spec, g, alt, hedge),
+                     ctx->client_name + "/hedge");
+        }
       }
-      co_await exec.RunOnce(ctx, g);
+      auto token = std::make_shared<graph::CancelToken>();
+      ctx->cancel = token.get();
+      if (has_deadline) {
+        env_.Spawn(DeadlineWatchdog(token, ctx, gpu_index, deadline),
+                   ctx->client_name + "/watchdog");
+      }
+      if (failover) {
+        placer_->OnRequestStart(gpu_index);
+        RegisterInFlight(gpu_index, token.get(), ctx);
+      }
+      co_await executor(gpu_index).RunOnce(*ctx, g);
       token->finished = true;
-      ctx.cancel = nullptr;
+      ctx->cancel = nullptr;
+      if (failover) {
+        placer_->OnRequestEnd(gpu_index);
+        DeregisterInFlight(gpu_index, token.get());
+      }
       if (token->cancelled) {
         failed = true;
         reason = token->reason;
+      }
+      if (hedge) {
+        hedge->primary_done = true;
+        if (!failed) {
+          // Primary won; reel the hedge in (it drains as a no-op).
+          if (!hedge->done && hedge->token != nullptr) {
+            hedge->token->Cancel(graph::CancelReason::kFailover);
+            if (!hedge->token->hooks_notified) {
+              hedge->token->hooks_notified = true;
+              if (hooks_[hedge->gpu] != nullptr) {
+                hooks_[hedge->gpu]->CancelRun(*hedge->ctx);
+              }
+            }
+          }
+        } else {
+          // Primary failed: the hedge verdict decides the request.
+          while (!hedge->done) co_await hedge->cv.Wait();
+          if (hedge->won) {
+            ++counters_.hedge_wins;
+            failed = false;
+            reason = graph::CancelReason::kNone;
+          }
+        }
       }
     }
 
@@ -211,6 +314,15 @@ sim::Task Experiment::RunRequest(graph::JobContext& ctx, const graph::Graph& g,
       ++counters_.requests_timed_out;
       ++counters_.deadline_cancellations;
       co_return;
+    }
+    if (failover && (reason == graph::CancelReason::kFailover ||
+                     !health_->Usable(gpu_index))) {
+      // The device died under this attempt. Re-admit on a surviving
+      // replica WITHOUT consuming the retry budget — the failure belongs
+      // to the device, not the request. (The Usable check also catches a
+      // kernel failure that raced ahead of the down transition.)
+      ++counters_.requests_failed_over;
+      continue;
     }
     if (reason == graph::CancelReason::kKernelFailed) {
       ++counters_.kernel_failures_observed;
@@ -234,6 +346,7 @@ sim::Task Experiment::RunRequest(graph::JobContext& ctx, const graph::Graph& g,
       ++counters_.requests_timed_out;
       co_return;
     }
+    ++attempt;
     co_await env_.Delay(backoff);
   }
 }
@@ -256,11 +369,191 @@ sim::Task Experiment::DeadlineWatchdog(
   }
 }
 
+void Experiment::OnDeviceDown(std::size_t gpu) {
+  // Runs synchronously inside the device signal (reset begin / hang
+  // escalation), before any failed kernel's waiter resumes. Cancelling with
+  // kFailover here wins the sticky-token race against kKernelFailed, so
+  // each victim re-admits to a surviving replica without touching its
+  // retry budget.
+  for (const InFlight& f : inflight_[gpu]) {
+    f.token->Cancel(graph::CancelReason::kFailover);
+    if (!f.token->hooks_notified) {
+      f.token->hooks_notified = true;
+      if (hooks_[gpu] != nullptr) hooks_[gpu]->CancelRun(*f.ctx);
+    }
+    ++counters_.failover_cancellations;
+    // Release gang threads stuck in uninterruptible kernel awaits (queued
+    // behind a wedged channel): abort the job's streams so the waits
+    // resolve and the run drains now, not when the hang clears.
+    for (const gpusim::StreamId s : f.ctx->streams) {
+      gpus_[gpu]->AbortStream(s);
+    }
+  }
+  if (hooks_[gpu] != nullptr) hooks_[gpu]->OnDeviceDown();
+}
+
+void Experiment::OnDeviceReadmitted(std::size_t gpu) {
+  if (hooks_[gpu] != nullptr) hooks_[gpu]->OnDeviceUp();
+}
+
+sim::Duration Experiment::ParamsReloadCost(std::size_t gpu) const {
+  double mb = 0.0;
+  for (const auto& [dev, model] : params_resident_) {
+    if (dev == gpu) mb += static_cast<double>(models::GetModel(model).params_mb);
+  }
+  const double gbps = options_.failover.recovery.pcie_gbps;
+  if (mb <= 0.0 || gbps <= 0.0) return sim::Duration::Zero();
+  return sim::Duration::Seconds(mb / 1024.0 / gbps);
+}
+
+sim::Task Experiment::EnsureReplica(std::size_t client_index,
+                                    const ClientSpec& spec, std::size_t gpu,
+                                    bool& ok) {
+  ok = true;
+  while (placer_->replica_state(gpu, spec.model) !=
+         Placer::ReplicaState::kReady) {
+    if (placer_->BeginLoad(gpu, spec.model)) {
+      // First arrival instantiates the replica: parameters stream over
+      // PCIe and the fresh replica warms up before taking traffic.
+      const models::ModelSpec& mspec = models::GetModel(spec.model);
+      const fault::RecoveryOptions& rec = options_.failover.recovery;
+      sim::Duration cost = rec.warmup;
+      if (rec.pcie_gbps > 0.0) {
+        cost += sim::Duration::Seconds(
+            static_cast<double>(mspec.params_mb) / 1024.0 / rec.pcie_gbps);
+      }
+      if (cost > sim::Duration::Zero()) co_await env_.Delay(cost);
+      try {
+        LoadModel(spec.model, gpu);
+      } catch (const gpusim::TransientAllocFailure&) {
+        ok = false;
+      }
+      if (!ok) {
+        // Roll the slot back so a later attempt retries the load.
+        placer_->AbortLoad(gpu, spec.model);
+        co_return;
+      }
+      ++counters_.replica_instantiations;
+      placer_->FinishLoad(gpu, spec.model);
+    } else {
+      // Someone else is loading: wait for it to settle, then re-check (an
+      // aborted load makes this waiter take over).
+      co_await placer_->AwaitReady(gpu, spec.model);
+    }
+  }
+  if (ClientContext(client_index, gpu) == nullptr) {
+    const models::ModelSpec& mspec = models::GetModel(spec.model);
+    auto ctx = std::make_unique<graph::JobContext>();
+    ctx->job = next_job_id_++;
+    ctx->client_name = spec.model + "#" + std::to_string(client_index) +
+                       "@gpu" + std::to_string(gpu);
+    ctx->model_key = models::ModelKey(spec.model, spec.batch);
+    ctx->batch = spec.batch;
+    ctx->weight = spec.weight;
+    ctx->priority = spec.priority;
+    ctx->min_share = spec.min_share;
+    for (int s = 0; s < options_.streams_per_job; ++s) {
+      ctx->streams.push_back(gpus_[gpu]->CreateStream());
+    }
+    try {
+      gpus_[gpu]->AllocateMemory(ctx->job, mspec.ClientMemoryMb(spec.batch));
+    } catch (const gpusim::TransientAllocFailure&) {
+      // Streams are cheap to leave behind; report a retryable transient.
+      ok = false;
+      contexts_.push_back(std::move(ctx));
+      co_return;
+    }
+    client_gpu_ctx_[{client_index, gpu}] = ctx.get();
+    contexts_.push_back(std::move(ctx));
+  }
+}
+
+sim::Task Experiment::HedgeProc(std::size_t client_index,
+                                const ClientSpec& spec, const graph::Graph& g,
+                                std::size_t gpu,
+                                std::shared_ptr<HedgeState> st) {
+  auto skip = [&] {
+    st->skipped = true;
+    st->done = true;
+    st->cv.NotifyAll();
+  };
+  if (options_.failover.hedge_delay > sim::Duration::Zero()) {
+    co_await env_.Delay(options_.failover.hedge_delay);
+  }
+  if (st->primary_done || !health_->Usable(gpu)) {
+    skip();
+    co_return;
+  }
+  bool replica_ok = true;
+  co_await EnsureReplica(client_index, spec, gpu, replica_ok);
+  graph::JobContext* ctx = ClientContext(client_index, gpu);
+  if (!replica_ok || ctx == nullptr || ctx->cancel != nullptr ||
+      st->primary_done || !health_->Usable(gpu)) {
+    skip();
+    co_return;
+  }
+  auto token = std::make_shared<graph::CancelToken>();
+  ctx->cancel = token.get();
+  st->token = token.get();
+  st->ctx = ctx;
+  st->gpu = gpu;
+  placer_->OnRequestStart(gpu);
+  RegisterInFlight(gpu, token.get(), ctx);
+  co_await executor(gpu).RunOnce(*ctx, g);
+  token->finished = true;
+  ctx->cancel = nullptr;
+  placer_->OnRequestEnd(gpu);
+  DeregisterInFlight(gpu, token.get());
+  st->token = nullptr;
+  st->won = !token->cancelled;
+  st->done = true;
+  st->cv.NotifyAll();
+}
+
+graph::JobContext* Experiment::ClientContext(std::size_t client_index,
+                                             std::size_t gpu) {
+  const auto it = client_gpu_ctx_.find({client_index, gpu});
+  return it == client_gpu_ctx_.end() ? nullptr : it->second;
+}
+
+void Experiment::RegisterInFlight(std::size_t gpu, graph::CancelToken* token,
+                                  graph::JobContext* ctx) {
+  inflight_[gpu].push_back(InFlight{token, ctx});
+}
+
+void Experiment::DeregisterInFlight(std::size_t gpu,
+                                    const graph::CancelToken* token) {
+  auto& v = inflight_[gpu];
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].token == token) {
+      v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
 std::vector<ClientResult> Experiment::Run(
     const std::vector<ClientSpec>& clients) {
   if (ran_) throw std::logic_error("Experiment::Run may only be called once");
   ran_ = true;
   for (std::size_t i = 0; i < gpus_.size(); ++i) executor(i);  // bind hooks
+
+  // Stand up the failover subsystem before traffic or faults: listeners
+  // must be attached when the first device signal fires.
+  if (options_.failover.enabled) {
+    std::vector<gpusim::Gpu*> gpu_ptrs;
+    gpu_ptrs.reserve(gpus_.size());
+    for (const auto& g : gpus_) gpu_ptrs.push_back(g.get());
+    HealthObserver* observer = this;  // private base: convert in-class
+    health_ = std::make_unique<HealthMonitor>(
+        env_, std::move(gpu_ptrs), options_.failover.health,
+        options_.failover.recovery, observer, &counters_,
+        options_.executor.tracer);
+    placer_ = std::make_unique<Placer>(env_, *health_, gpus_.size());
+    inflight_.resize(gpus_.size());
+    health_->Start();
+    remaining_clients_ = clients.size();
+  }
 
   // Arm the fault schedule before any client starts, so an event at t=0
   // still lands. All faults fire on the virtual clock: a run with the same
@@ -305,8 +598,16 @@ std::vector<ClientResult> Experiment::Run(
     out.batch = spec.batch;
     out.gpu_index = gpu_index;
 
+    if (options_.failover.enabled) {
+      // The home replica exists from setup: record it so Route prefers
+      // devices that already hold the model, and index the context for
+      // per-device cancellation and failover routing.
+      placer_->MarkReady(gpu_index, spec.model);
+      client_gpu_ctx_[{i, gpu_index}] = ctx.get();
+    }
+
     procs.push_back(env_.Spawn(
-        ClientProc(*ctx, g, spec, options_.seed * 7919 + i, out),
+        ClientProc(i, *ctx, g, spec, options_.seed * 7919 + i, out),
         ctx->client_name));
     contexts_.push_back(std::move(ctx));
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <stdexcept>
@@ -18,7 +19,10 @@
 #include "metrics/counters.h"
 #include "models/model_zoo.h"
 #include "serving/degradation.h"
+#include "serving/health.h"
+#include "serving/placer.h"
 #include "sim/environment.h"
+#include "sim/sync.h"
 
 namespace olympian::serving {
 
@@ -28,6 +32,21 @@ namespace olympian::serving {
 // pool threads.
 struct ServerStalled : std::runtime_error {
   using std::runtime_error::runtime_error;
+};
+
+// Health-aware placement, failover, and recovery orchestration. Disabled by
+// default: the legacy static round-robin pin (and its exact event sequence)
+// is preserved bit-for-bit unless `enabled` is set.
+struct FailoverOptions {
+  bool enabled = false;
+  HealthMonitorOptions health;
+  // Recovery pipeline after an outage (driver re-init, parameter reload
+  // over PCIe, warm-up) — also prices lazy replica instantiation.
+  fault::RecoveryOptions recovery;
+  // Launch a duplicate attempt on another replica when the routed device is
+  // merely degraded (tail tolerance during hangs / alloc-fault windows).
+  bool hedge_when_degraded = false;
+  sim::Duration hedge_delay = sim::Duration::Millis(5);
 };
 
 // Configuration of one model-server instance.
@@ -51,6 +70,8 @@ struct ServerOptions {
   // Graceful-degradation knobs: retries, circuit breaker, load shedding.
   // Defaults preserve the legacy fail-stop behaviour.
   DegradationOptions degradation;
+  // Health-aware placement / failover / recovery. Off by default.
+  FailoverOptions failover;
   // Master seed; every stochastic component derives its stream from it.
   std::uint64_t seed = 1;
 };
@@ -111,10 +132,10 @@ struct ClientResult {
 //   Experiment exp(options);
 //   exp.SetHooks(&scheduler);              // omit for stock TF-Serving
 //   auto results = exp.Run(clients);
-class Experiment {
+class Experiment : private HealthObserver {
  public:
   explicit Experiment(ServerOptions options);
-  ~Experiment();
+  ~Experiment() override;
 
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
@@ -166,6 +187,10 @@ class Experiment {
   const metrics::ServingCounters& counters() const { return counters_; }
   // The fault injector armed for the last Run (nullptr when no faults).
   const fault::FaultInjector* injector() const { return injector_.get(); }
+  // Health monitor / placer of the failover subsystem (nullptr unless
+  // `failover.enabled`; valid during and after Run).
+  const HealthMonitor* health() const { return health_.get(); }
+  const Placer* placer() const { return placer_.get(); }
 
   // The JobContexts created for the last Run (for scheduler inspection).
   const std::vector<std::unique_ptr<graph::JobContext>>& job_contexts() const {
@@ -173,20 +198,53 @@ class Experiment {
   }
 
  private:
-  sim::Task ClientProc(graph::JobContext& ctx, const graph::Graph& g,
-                       ClientSpec spec, std::uint64_t seed, ClientResult& out);
-  // One request attempt chain: admission -> breaker -> run -> retry loop.
-  // Writes the terminal status into `status`.
-  sim::Task RunRequest(graph::JobContext& ctx, const graph::Graph& g,
-                       const ClientSpec& spec, graph::Executor& exec,
+  // Join state between one request's primary attempt and its hedge.
+  struct HedgeState {
+    explicit HedgeState(sim::Environment& env) : cv(env) {}
+    bool primary_done = false;
+    bool done = false;     // hedge attempt finished (or skipped)
+    bool skipped = false;  // hedge never ran (primary won the race)
+    bool won = false;      // hedge completed without cancellation
+    graph::CancelToken* token = nullptr;  // hedge's in-flight token
+    graph::JobContext* ctx = nullptr;
+    std::size_t gpu = 0;
+    sim::CondVar cv;
+  };
+
+  sim::Task ClientProc(std::size_t client_index, graph::JobContext& ctx,
+                       const graph::Graph& g, ClientSpec spec,
+                       std::uint64_t seed, ClientResult& out);
+  // One request attempt chain: admission -> breaker -> route -> run ->
+  // retry loop. Writes the terminal status into `status`.
+  sim::Task RunRequest(std::size_t client_index, graph::JobContext& primary_ctx,
+                       const graph::Graph& g, const ClientSpec& spec,
                        sim::Rng& rng, sim::TimePoint arrival,
-                       std::size_t gpu_index, RequestStatus& status);
+                       std::size_t primary_gpu, RequestStatus& status);
   // Fires at `deadline`; cancels the run if it is still in flight. Holds a
   // shared_ptr so a watchdog outliving its request cannot dangle.
   sim::Task DeadlineWatchdog(std::shared_ptr<graph::CancelToken> token,
                              graph::JobContext* ctx, std::size_t gpu_index,
                              sim::TimePoint deadline);
   CircuitBreaker* BreakerFor(const std::string& model);
+
+  // --- failover plumbing (active only when options_.failover.enabled) ----
+  // serving::HealthObserver:
+  void OnDeviceDown(std::size_t gpu) override;
+  void OnDeviceReadmitted(std::size_t gpu) override;
+  sim::Duration ParamsReloadCost(std::size_t gpu) const override;
+  // Bring `spec.model` (and this client's JobContext) up on `gpu`, charging
+  // reload + warm-up on the virtual clock for the first arrival; concurrent
+  // arrivals await the load. `ok` is false on a transient alloc failure.
+  sim::Task EnsureReplica(std::size_t client_index, const ClientSpec& spec,
+                          std::size_t gpu, bool& ok);
+  // Duplicate attempt on `gpu` while the primary runs on a degraded device.
+  sim::Task HedgeProc(std::size_t client_index, const ClientSpec& spec,
+                      const graph::Graph& g, std::size_t gpu,
+                      std::shared_ptr<HedgeState> st);
+  graph::JobContext* ClientContext(std::size_t client_index, std::size_t gpu);
+  void RegisterInFlight(std::size_t gpu, graph::CancelToken* token,
+                        graph::JobContext* ctx);
+  void DeregisterInFlight(std::size_t gpu, const graph::CancelToken* token);
 
   ServerOptions options_;
   sim::Environment env_;
@@ -206,6 +264,22 @@ class Experiment {
   std::unique_ptr<fault::FaultInjector> injector_;
   // Per-model circuit breakers (lazily created when the breaker is enabled).
   std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+
+  // --- failover state (allocated only when options_.failover.enabled) ----
+  std::unique_ptr<HealthMonitor> health_;
+  std::unique_ptr<Placer> placer_;
+  // One JobContext per (client, device) the client has ever run on; the
+  // primary is created eagerly at setup, replicas lazily on first route.
+  std::map<std::pair<std::size_t, std::size_t>, graph::JobContext*>
+      client_gpu_ctx_;
+  struct InFlight {
+    graph::CancelToken* token = nullptr;
+    graph::JobContext* ctx = nullptr;
+  };
+  std::vector<std::vector<InFlight>> inflight_;  // per device
+  // Clients still running; the last one out stops the health monitor's
+  // probe loops so the event queue can drain.
+  std::size_t remaining_clients_ = 0;
 };
 
 }  // namespace olympian::serving

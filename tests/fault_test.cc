@@ -67,6 +67,63 @@ TEST(FaultPlanTest, RandomIsDeterministicInSeed) {
   EXPECT_TRUE(differs);
 }
 
+// Satellite regression: kinds draw from the shared stream in a fixed order
+// (kernel failures, hangs, resets, alloc faults), so raising a *later*
+// kind's expectation must not perturb any earlier kind's draws. This is
+// what lets a study add reset outages to an existing plan without moving
+// the kernel-failure schedule it was calibrated against.
+TEST(FaultPlanTest, LaterKindExpectationsDoNotPerturbEarlierDraws) {
+  fault::FaultPlan::RandomOptions base;
+  base.expected_kernel_failures = 4.0;
+  base.expected_hangs = 2.0;
+  base.mean_hang = Duration::Millis(3);
+
+  fault::FaultPlan::RandomOptions extended = base;
+  extended.expected_resets = 2.0;
+  extended.mean_reset_outage = Duration::Millis(50);
+  extended.expected_alloc_faults = 1.0;
+
+  const auto a = fault::FaultPlan::Random(base, 42);
+  const auto b = fault::FaultPlan::Random(extended, 42);
+  auto of_kind = [](const fault::FaultPlan& p, fault::FaultKind k) {
+    std::vector<fault::FaultEvent> out;
+    for (const auto& e : p.events()) {
+      if (e.kind == k) out.push_back(e);
+    }
+    return out;
+  };
+  for (const auto kind :
+       {fault::FaultKind::kKernelFailure, fault::FaultKind::kDeviceHang}) {
+    const auto ea = of_kind(a, kind);
+    const auto eb = of_kind(b, kind);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].at, eb[i].at);
+      EXPECT_EQ(ea[i].gpu_index, eb[i].gpu_index);
+      EXPECT_EQ(ea[i].stream, eb[i].stream);
+      EXPECT_EQ(ea[i].duration, eb[i].duration);
+    }
+  }
+  // The new knob actually took effect: resets carry an outage duration.
+  const auto resets = of_kind(b, fault::FaultKind::kDeviceReset);
+  for (const auto& e : resets) EXPECT_GT(e.duration, Duration::Zero());
+}
+
+// mean_reset_outage defaults to zero and zero draws nothing extra from the
+// rng: plans built before the knob existed reproduce bit-for-bit, with
+// instantaneous (zero-outage) resets.
+TEST(FaultPlanTest, ZeroMeanResetOutageDrawsInstantResets) {
+  fault::FaultPlan::RandomOptions opts;
+  opts.expected_resets = 3.0;
+  opts.expected_alloc_faults = 2.0;
+  const auto plan = fault::FaultPlan::Random(opts, 11);
+  for (const auto& e : plan.events()) {
+    if (e.kind == fault::FaultKind::kDeviceReset) {
+      EXPECT_EQ(e.duration, Duration::Zero());
+    }
+  }
+}
+
 TEST(FaultPlanTest, RandomEventsAreTimeSorted) {
   fault::FaultPlan::RandomOptions opts;
   opts.expected_kernel_failures = 6.0;
@@ -218,6 +275,33 @@ TEST(CircuitBreakerTest, FailedTrialReopensImmediately) {
   EXPECT_TRUE(b.OnFailure(At(11)));     // trial failed -> reopen counts
   EXPECT_EQ(b.state(), serving::CircuitBreaker::State::kOpen);
   EXPECT_FALSE(b.AllowRequest(At(12)));
+  EXPECT_EQ(b.opens(), 2u);
+}
+
+// Satellite: half-open edge coverage. A failed trial restarts the cooldown
+// from the failure instant, and after a full second cooldown a successful
+// trial closes the breaker and clears the failure streak.
+TEST(CircuitBreakerTest, HalfOpenCooldownRestartsAfterFailedTrial) {
+  serving::CircuitBreakerOptions opts;
+  opts.failure_threshold = 2;
+  opts.cooldown = Duration::Millis(10);
+  serving::CircuitBreaker b(opts);
+  b.OnFailure(At(0));
+  b.OnFailure(At(0));
+  ASSERT_EQ(b.state(), serving::CircuitBreaker::State::kOpen);
+
+  ASSERT_TRUE(b.AllowRequest(At(11)));  // first trial
+  EXPECT_TRUE(b.OnFailure(At(11)));     // fails -> reopen
+  // The new cooldown runs from t=11, not t=0: t=15 is still closed off.
+  EXPECT_FALSE(b.AllowRequest(At(15)));
+  ASSERT_TRUE(b.AllowRequest(At(22)));  // second trial after full cooldown
+  EXPECT_EQ(b.state(), serving::CircuitBreaker::State::kHalfOpen);
+  b.OnSuccess();
+  EXPECT_EQ(b.state(), serving::CircuitBreaker::State::kClosed);
+  // The streak reset with the successful trial: one new failure does not
+  // re-trip a threshold-2 breaker.
+  EXPECT_FALSE(b.OnFailure(At(23)));
+  EXPECT_EQ(b.state(), serving::CircuitBreaker::State::kClosed);
   EXPECT_EQ(b.opens(), 2u);
 }
 
