@@ -193,8 +193,24 @@ void BM_CondVarPingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_CondVarPingPong)->Unit(benchmark::kMillisecond);
 
+// Attaches kernels/sec, waves/sec, and allocs/kernel counters to a
+// GPU-path benchmark. These are the hot-path metrics the kernel freelist
+// and wave coalescing are tuned against.
+void ReportKernelCounters(benchmark::State& state, std::uint64_t kernels,
+                          std::uint64_t waves, std::uint64_t allocs) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(kernels));
+  state.counters["kernels/s"] = benchmark::Counter(
+      static_cast<double>(kernels), benchmark::Counter::kIsRate);
+  state.counters["waves/s"] = benchmark::Counter(static_cast<double>(waves),
+                                                 benchmark::Counter::kIsRate);
+  state.counters["allocs/kernel"] =
+      kernels ? static_cast<double>(allocs) / static_cast<double>(kernels)
+              : 0.0;
+}
+
 // GPU submission path: small kernels through one stream.
 void BM_GpuSubmitPath(benchmark::State& state) {
+  std::uint64_t kernels = 0, waves = 0, allocs = 0;
   for (auto _ : state) {
     sim::Environment env;
     gpusim::Gpu gpu(env, gpusim::Gpu::Options{.seed = 1});
@@ -208,12 +224,88 @@ void BM_GpuSubmitPath(benchmark::State& state) {
                                   .block_work = sim::Duration::Micros(5)});
       }
     }(gpu, s, n));
+    const std::uint64_t a0 = g_allocs;
     env.Run();
-    benchmark::DoNotOptimize(gpu.kernels_completed());
+    allocs += g_allocs - a0;
+    kernels += gpu.kernels_completed();
+    waves += gpu.waves_dispatched();
   }
-  state.SetItemsProcessed(state.iterations() * 5000);
+  ReportKernelCounters(state, kernels, waves, allocs);
 }
 BENCHMARK(BM_GpuSubmitPath)->Unit(benchmark::kMillisecond);
+
+// Cross-stream arbitration: several backlogged streams of small kernels, so
+// every kernel start goes through the weighted ready-stream pick.
+void BM_GpuMultiStreamArbitration(benchmark::State& state) {
+  const int streams = 8;
+  std::uint64_t kernels = 0, waves = 0, allocs = 0;
+  for (auto _ : state) {
+    sim::Environment env;
+    gpusim::Gpu gpu(env, gpusim::Gpu::Options{.seed = 7});
+    const int per_stream = 1000;
+    for (int i = 0; i < streams; ++i) {
+      const auto s = gpu.CreateStream();
+      env.Spawn(
+          [](gpusim::Gpu& g, gpusim::StreamId st, int count) -> sim::Task {
+            for (int k = 0; k < count; ++k) {
+              co_await g.Submit(st,
+                                gpusim::KernelDesc{
+                                    .job = st,
+                                    .thread_blocks = 16,
+                                    .block_work = sim::Duration::Micros(3)});
+            }
+          }(gpu, s, per_stream));
+    }
+    const std::uint64_t a0 = g_allocs;
+    env.Run();
+    allocs += g_allocs - a0;
+    kernels += gpu.kernels_completed();
+    waves += gpu.waves_dispatched();
+  }
+  ReportKernelCounters(state, kernels, waves, allocs);
+}
+BENCHMARK(BM_GpuMultiStreamArbitration)->Unit(benchmark::kMillisecond);
+
+// The wave-train regime: a long-running kernel pins most of the device
+// while another stream pushes wide (but non-saturating) kernels through the
+// remaining slots, so each kernel executes as a train of identical waves.
+// This is the shape wave coalescing collapses into one timer event per
+// train (pre-coalescing: one event per wave).
+void BM_GpuWaveTrain(benchmark::State& state) {
+  std::uint64_t kernels = 0, waves = 0, allocs = 0;
+  for (auto _ : state) {
+    sim::Environment env;
+    gpusim::Gpu::Options o;
+    o.seed = 3;
+    gpusim::Gpu gpu(env, o);  // 224 slots (GTX-1080Ti)
+    const auto backdrop = gpu.CreateStream();
+    const auto train = gpu.CreateStream();
+    const int n = 400;
+    // Backdrop: 200 slots held for 60ms — one wave, far horizon.
+    env.Spawn([](gpusim::Gpu& g, gpusim::StreamId st) -> sim::Task {
+      co_await g.Submit(st, gpusim::KernelDesc{
+                                .job = 1,
+                                .thread_blocks = 200,
+                                .block_work = sim::Duration::Millis(60)});
+    }(gpu, backdrop));
+    // Trains: 220 blocks through the free 24 slots -> 10 waves per kernel.
+    env.Spawn([](gpusim::Gpu& g, gpusim::StreamId st, int count) -> sim::Task {
+      for (int i = 0; i < count; ++i) {
+        co_await g.Submit(st, gpusim::KernelDesc{
+                                  .job = 2,
+                                  .thread_blocks = 220,
+                                  .block_work = sim::Duration::Micros(5)});
+      }
+    }(gpu, train, n));
+    const std::uint64_t a0 = g_allocs;
+    env.Run();
+    allocs += g_allocs - a0;
+    kernels += gpu.kernels_completed();
+    waves += gpu.waves_dispatched();
+  }
+  ReportKernelCounters(state, kernels, waves, allocs);
+}
+BENCHMARK(BM_GpuWaveTrain)->Unit(benchmark::kMillisecond);
 
 // The scheduler's per-node hot path: OnNodeComputed cost accrual + rotation.
 void BM_SchedulerAccrual(benchmark::State& state) {

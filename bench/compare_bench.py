@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Threshold-compare a google-benchmark JSON run against a committed baseline.
+
+Used by the CI perf-smoke job to catch hot-path regressions:
+
+    ./build/bench/bench_micro --benchmark_filter='Gpu' \
+        --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+    python3 bench/compare_bench.py BENCH_micro.json \
+        bench/BENCH_micro_baseline.json --tolerance 0.25
+
+Rules (per benchmark name present in BOTH files):
+  * Throughput counters (rates: kernels/s, waves/s, items_per_second) must
+    not drop by more than --tolerance (fraction) relative to the baseline.
+  * allocs/kernel must not exceed the baseline value by more than
+    --alloc-slack (absolute). The hot path is allocation-free in steady
+    state, so this stays near zero and a pooling regression trips it long
+    before it shows up as throughput.
+
+Benchmarks present in only one file are reported but never fatal, so adding
+a benchmark does not require regenerating the baseline in the same change.
+
+Exit status: 0 on pass, 1 on any regression, 2 on usage/parse errors.
+"""
+
+import argparse
+import json
+import sys
+
+RATE_COUNTERS = ("kernels/s", "waves/s", "items_per_second")
+ALLOC_COUNTER = "allocs/kernel"
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    if not out:
+        print(f"error: no benchmark entries in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def rates(entry):
+    found = {}
+    for key in RATE_COUNTERS:
+        value = entry.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            found[key] = float(value)
+    return found
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly produced benchmark JSON")
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="max allowed fractional throughput drop (default 0.25)")
+    ap.add_argument("--alloc-slack", type=float, default=0.05,
+                    help="max allowed absolute allocs/kernel increase over "
+                         "baseline (default 0.05)")
+    ap.add_argument("--filter", default="",
+                    help="only compare benchmarks whose name contains this")
+    args = ap.parse_args()
+
+    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline)
+
+    failures = []
+    compared = 0
+    for name, base in sorted(baseline.items()):
+        if args.filter and args.filter not in name:
+            continue
+        cur = current.get(name)
+        if cur is None:
+            print(f"note: {name}: in baseline only, skipped")
+            continue
+        compared += 1
+        base_rates = rates(base)
+        cur_rates = rates(cur)
+        for key, base_v in base_rates.items():
+            cur_v = cur_rates.get(key)
+            if cur_v is None:
+                failures.append(f"{name}: counter {key} missing from current run")
+                continue
+            ratio = cur_v / base_v
+            status = "ok"
+            if ratio < 1.0 - args.tolerance:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {key} {cur_v:.3g} vs baseline {base_v:.3g} "
+                    f"({ratio:.2f}x, floor {1.0 - args.tolerance:.2f}x)")
+            print(f"{status:>10}  {name}  {key}  {ratio:.2f}x")
+        base_alloc = base.get(ALLOC_COUNTER)
+        cur_alloc = cur.get(ALLOC_COUNTER)
+        if isinstance(base_alloc, (int, float)) and isinstance(
+                cur_alloc, (int, float)):
+            limit = base_alloc + args.alloc_slack
+            status = "ok" if cur_alloc <= limit else "REGRESSION"
+            if cur_alloc > limit:
+                failures.append(
+                    f"{name}: {ALLOC_COUNTER} {cur_alloc:.3f} exceeds "
+                    f"baseline {base_alloc:.3f} + slack {args.alloc_slack}")
+            print(f"{status:>10}  {name}  {ALLOC_COUNTER}  "
+                  f"{cur_alloc:.3f} (limit {limit:.3f})")
+    for name in sorted(set(current) - set(baseline)):
+        if args.filter and args.filter not in name:
+            continue
+        print(f"note: {name}: new benchmark, no baseline")
+
+    if compared == 0:
+        print("error: nothing compared (filter too strict?)", file=sys.stderr)
+        return 2
+    if failures:
+        print("\nPerf regressions detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nAll {compared} compared benchmarks within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -154,9 +154,9 @@ void Scheduler::Rotate(gpusim::JobId leaving) {
         .active_jobs = jobs_.size()});
   }
   if (options_.tracer != nullptr && token_ != gpusim::kNoJob) {
-    options_.tracer->AddSpan("token", "job-" + std::to_string(token_),
-                             metrics::Tracer::kSchedulerTrack, tenure_start_,
-                             env_.Now());
+    options_.tracer->AddSpanNumbered("token", "job-", token_,
+                                     metrics::Tracer::kSchedulerTrack,
+                                     tenure_start_, env_.Now());
   }
   const gpusim::JobId next = policy_->NextJob(jobs_, leaving);
   GrantTo(next);

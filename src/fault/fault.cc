@@ -195,8 +195,8 @@ void FaultInjector::Apply(const FaultEvent& e) {
   }
   ++events_applied_;
   if (tracer_ != nullptr && !tracer_->full()) {
-    const std::string name =
-        std::string(ToString(e.kind)) + "@gpu" + std::to_string(e.gpu_index);
+    const char* name = tracer_->Intern(std::string(ToString(e.kind)) +
+                                       "@gpu" + std::to_string(e.gpu_index));
     if (e.duration > sim::Duration::Zero()) {
       tracer_->AddSpan("fault", name, metrics::Tracer::kFaultTrack, e.at,
                        e.at + e.duration);

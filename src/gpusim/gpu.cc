@@ -6,6 +6,13 @@
 #include <utility>
 
 namespace olympian::gpusim {
+namespace {
+constexpr std::size_t kKernelChunk = 64;
+
+std::uint64_t WaveArg(std::uint64_t slot, std::uint32_t gen) {
+  return slot | (static_cast<std::uint64_t>(gen) << 32);
+}
+}  // namespace
 
 Gpu::Gpu(sim::Environment& env, Options options)
     : env_(env),
@@ -36,6 +43,28 @@ StreamId Gpu::CreateStream() {
   return s.id;
 }
 
+Gpu::Kernel* Gpu::AllocKernel() {
+  if (kernel_free_ == nullptr) {
+    kernel_chunks_.push_back(std::make_unique<Kernel[]>(kKernelChunk));
+    Kernel* base = kernel_chunks_.back().get();
+    for (std::size_t i = 0; i < kKernelChunk; ++i) {
+      base[i].next = kernel_free_;
+      kernel_free_ = &base[i];
+    }
+  }
+  Kernel* k = kernel_free_;
+  kernel_free_ = k->next;
+  k->next = nullptr;
+  return k;
+}
+
+void Gpu::FreeKernel(Kernel* k) {
+  k->waiter = nullptr;
+  k->failed_out = nullptr;
+  k->next = kernel_free_;
+  kernel_free_ = k;
+}
+
 void Gpu::Enqueue(StreamId stream, const KernelDesc& desc,
                   std::coroutine_handle<> waiter, bool* failed_out) {
   if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
@@ -50,33 +79,83 @@ void Gpu::Enqueue(StreamId stream, const KernelDesc& desc,
   if (down_) {
     // The driver is gone for the rest of the outage: the launch returns an
     // error immediately instead of queueing (a cudaErrorDeviceUnavailable).
+    // Without a failed_out flag there is no channel to report through, so
+    // the rejection surfaces as a synchronous throw (see the contract on
+    // the declaration) — never as a silent success.
     ++kernels_failed_;
-    if (failed_out != nullptr) *failed_out = true;
+    if (failed_out == nullptr) {
+      throw KernelFailed("launch rejected: device " + options_.spec.name +
+                         " is down (reset outage)");
+    }
+    *failed_out = true;
     if (waiter) env_.ScheduleNow(waiter);
     return;
   }
-  auto k = std::make_unique<Kernel>();
+  Kernel* k = AllocKernel();
   k->desc = desc;
   k->blocks_left = desc.thread_blocks;
+  k->in_flight = 0;
   k->exclusive = desc.thread_blocks >= options_.spec.total_block_slots();
+  k->failed = false;
   k->waiter = waiter;
   k->failed_out = failed_out;
-  Stream& s = *streams_[stream];
-  s.queue.push_back(std::move(k));
+  Stream& s = *streams_[static_cast<std::size_t>(stream)];
+  s.queue.push(k);
   if (StreamReady(s)) MarkReady(stream);
   Dispatch();
 }
 
 bool Gpu::StreamReady(const Stream& s) const {
-  if (s.active) return s.active->blocks_left > 0;
+  if (s.active != nullptr) return s.active->blocks_left > 0;
   return !s.queue.empty();
 }
 
 void Gpu::MarkReady(StreamId id) {
-  Stream& s = *streams_[id];
+  Stream& s = *streams_[static_cast<std::size_t>(id)];
   if (s.in_ready_list) return;
   s.in_ready_list = true;
   ready_.push_back(id);
+}
+
+std::uint64_t Gpu::AcquireWaveSlot() {
+  if (!free_wave_slots_.empty()) {
+    const std::uint64_t slot = free_wave_slots_.back();
+    free_wave_slots_.pop_back();
+    return slot;
+  }
+  waves_.push_back(Wave{});
+  return waves_.size() - 1;
+}
+
+void Gpu::ReleaseWaveSlot(std::uint64_t slot) {
+  waves_[slot].active = false;
+  ++waves_[slot].gen;  // orphan any timer event still pointing here
+  free_wave_slots_.push_back(slot);
+}
+
+std::int64_t Gpu::CoalescibleWaves(const Kernel* k, sim::Duration d,
+                                   std::int64_t max_waves) const {
+  if (!options_.coalesce_wave_trains || max_waves < 2) return 1;
+  const std::int64_t dn = d.nanos();
+  if (dn <= 0) return 1;  // zero-length waves: nothing to save
+  // The train refills the whole free pool at every boundary, so no ready
+  // stream can interleave; the only thing that can change the wave size is
+  // another in-flight occupancy ending (or a wave of this kernel itself,
+  // whose boundaries are staggered against ours). Cap the train strictly
+  // before the earliest such event; the remainder re-dispatches there with
+  // the exact uncoalesced semantics.
+  std::int64_t m = max_waves;
+  const sim::TimePoint now = env_.Now();
+  for (const Wave& w : waves_) {
+    if (!w.active) continue;
+    if (w.kernel == k) return 1;
+    const std::int64_t avail = (w.end - now).nanos();
+    if (avail <= dn) return 1;
+    const std::int64_t limit = (avail - 1) / dn;  // largest m: m*dn < avail
+    if (limit < m) m = limit;
+    if (m < 2) return 1;
+  }
+  return m;
 }
 
 void Gpu::Dispatch() {
@@ -89,7 +168,8 @@ void Gpu::Dispatch() {
         current_ >= 0 ? streams_[static_cast<std::size_t>(current_)].get()
                       : nullptr;
     // Finish issuing the in-flight kernel of the current stream first.
-    if (cur != nullptr && cur->active && cur->active->blocks_left > 0) {
+    if (cur != nullptr && cur->active != nullptr &&
+        cur->active->blocks_left > 0) {
       // fallthrough to wave issue below
     } else {
       // Need to start (or switch to) a kernel.
@@ -99,18 +179,27 @@ void Gpu::Dispatch() {
         if (cur != nullptr && StreamReady(*cur)) MarkReady(current_);
         current_ = -1;
         // Job-blind arbitration: pick a ready stream at random, weighted by
-        // its persistent channel bias. Drop stale entries as we go.
+        // its persistent channel bias. Stale entries (a stream re-listed at
+        // kernel retirement that went straight back to being current, or
+        // work failed by a fault) are dropped lazily in the same pass that
+        // sums the weights. The drop order, the index-order floating-point
+        // sum, and the always-taken RNG draw are all part of the pinned
+        // deterministic trajectory (golden_determinism_test) — an
+        // incrementally-maintained total rounds differently and silently
+        // changes which stream a given draw lands on. Keep this one
+        // sum-and-clean pass plus the early-exit prefix scan below; do not
+        // "optimize" it into running state.
         while (!ready_.empty()) {
           double total_w = 0.0;
           for (std::size_t i = 0; i < ready_.size();) {
-            Stream& s = *streams_[static_cast<std::size_t>(ready_[i])];
-            if (!StreamReady(s)) {
-              s.in_ready_list = false;
+            Stream& rs = *streams_[static_cast<std::size_t>(ready_[i])];
+            if (!StreamReady(rs)) {
+              rs.in_ready_list = false;
               ready_[i] = ready_.back();
               ready_.pop_back();
               continue;
             }
-            total_w += s.arb_weight;
+            total_w += rs.arb_weight;
             ++i;
           }
           if (ready_.empty()) break;
@@ -136,13 +225,12 @@ void Gpu::Dispatch() {
                    std::llround(-std::log(1.0 - u) * options_.mean_burst)));
         cur = streams_[static_cast<std::size_t>(current_)].get();
       }
-      if (!cur->active) {
+      if (cur->active == nullptr) {
         if (cur->queue.empty()) {
           current_ = -1;
           continue;
         }
-        cur->active = std::move(cur->queue.front());
-        cur->queue.pop_front();
+        cur->active = cur->queue.pop();
         --burst_left_;
       } else if (cur->active->blocks_left == 0) {
         // Active kernel fully issued but still draining; in-stream FIFO means
@@ -152,9 +240,10 @@ void Gpu::Dispatch() {
       }
     }
 
-    // Issue one wave of the current stream's active kernel.
+    // Issue one wave (or a coalesced train) of the current stream's active
+    // kernel.
     Stream& s = *streams_[static_cast<std::size_t>(current_)];
-    Kernel* k = s.active.get();
+    Kernel* k = s.active;
     if (k->exclusive) {
       // A saturating kernel needs the whole device; head-of-line wait until
       // in-flight waves drain, then run all its waves as one occupancy.
@@ -170,42 +259,59 @@ void Gpu::Dispatch() {
       JobMeter(k->desc.job).OnBegin(now);
       busy_.OnBegin(now);
       ++waves_dispatched_;
-      std::uint64_t slot;
-      if (!free_wave_slots_.empty()) {
-        slot = free_wave_slots_.back();
-        free_wave_slots_.pop_back();
-      } else {
-        slot = waves_.size();
-        waves_.push_back(Wave{});
-      }
-      waves_[slot] = Wave{k, &s, n_ex, total};
+      const std::uint64_t slot = AcquireWaveSlot();
+      Wave& w = waves_[slot];
       const sim::Duration d = k->desc.block_work *
                               (static_cast<double>(waves) /
                                options_.spec.clock_scale);
-      env_.ScheduleCallbackAt(now + d, &Gpu::WaveTrampoline, this, slot);
+      w.kernel = k;
+      w.stream = &s;
+      w.blocks = n_ex;
+      w.slots_held = total;
+      w.waves = 1;  // one occupancy; exclusive trains are never split
+      w.start = now;
+      w.end = now + d;
+      w.wave_d = d;
+      w.active = true;
+      env_.ScheduleCallbackAt(w.end, &Gpu::WaveTrampoline, this,
+                              WaveArg(slot, w.gen));
       continue;
     }
     const std::int64_t n = std::min(k->blocks_left, free_slots_);
-    k->blocks_left -= n;
-    k->in_flight += n;
+    const sim::Duration d =
+        k->desc.block_work * (1.0 / options_.spec.clock_scale);
+    // Wave-train coalescing: if this wave takes every free slot and the
+    // kernel has at least one more identical wave behind it, fold as many
+    // back-to-back waves as provably run undisturbed into one completion
+    // event. Finish times are unchanged — only event count drops.
+    std::int64_t m = 1;
+    if (n == free_slots_ && k->blocks_left >= 2 * n) {
+      m = CoalescibleWaves(k, d, k->blocks_left / n);
+    }
+    const std::int64_t issued = n * m;
+    k->blocks_left -= issued;
+    k->in_flight += issued;
     free_slots_ -= n;
     NoteOccupancyChange(n);
     const sim::TimePoint now = env_.Now();
     JobMeter(k->desc.job).OnBegin(now);
     busy_.OnBegin(now);
-    ++waves_dispatched_;
+    waves_dispatched_ += static_cast<std::uint64_t>(m);
+    if (m > 1) waves_coalesced_ += static_cast<std::uint64_t>(m - 1);
 
-    std::uint64_t slot;
-    if (!free_wave_slots_.empty()) {
-      slot = free_wave_slots_.back();
-      free_wave_slots_.pop_back();
-    } else {
-      slot = waves_.size();
-      waves_.push_back(Wave{});
-    }
-    waves_[slot] = Wave{k, &s, n, n};
-    const sim::Duration d = k->desc.block_work * (1.0 / options_.spec.clock_scale);
-    env_.ScheduleCallbackAt(now + d, &Gpu::WaveTrampoline, this, slot);
+    const std::uint64_t slot = AcquireWaveSlot();
+    Wave& w = waves_[slot];
+    w.kernel = k;
+    w.stream = &s;
+    w.blocks = issued;
+    w.slots_held = n;
+    w.waves = m;
+    w.start = now;
+    w.end = now + sim::Duration::Nanos(d.nanos() * m);
+    w.wave_d = d;
+    w.active = true;
+    env_.ScheduleCallbackAt(w.end, &Gpu::WaveTrampoline, this,
+                            WaveArg(slot, w.gen));
   }
   dispatching_ = false;
 }
@@ -214,9 +320,12 @@ void Gpu::WaveTrampoline(void* ctx, std::uint64_t arg) {
   static_cast<Gpu*>(ctx)->OnWaveDone(arg);
 }
 
-void Gpu::OnWaveDone(std::uint64_t wave_slot) {
-  const Wave w = waves_[wave_slot];
-  free_wave_slots_.push_back(wave_slot);
+void Gpu::OnWaveDone(std::uint64_t slot_and_gen) {
+  const std::uint64_t slot = slot_and_gen & 0xffffffffULL;
+  const std::uint32_t gen = static_cast<std::uint32_t>(slot_and_gen >> 32);
+  if (!waves_[slot].active || waves_[slot].gen != gen) return;  // orphaned
+  const Wave w = waves_[slot];
+  ReleaseWaveSlot(slot);
   Kernel* k = w.kernel;
   k->in_flight -= w.blocks;
   free_slots_ += w.slots_held;
@@ -231,9 +340,48 @@ void Gpu::OnWaveDone(std::uint64_t wave_slot) {
   Dispatch();
 }
 
+void Gpu::SplitTrain(std::uint64_t slot) {
+  Wave& w = waves_[slot];
+  const std::int64_t dn = w.wave_d.nanos();
+  const std::int64_t elapsed = (env_.Now() - w.start).nanos();
+  // Waves that already ran plus, unless we sit exactly on a boundary, the
+  // one executing now. At an exact boundary the next wave has NOT issued
+  // yet in the uncoalesced model (the fault event preempts the refill), so
+  // only the completed waves stand; at the train start (elapsed == 0) the
+  // first wave is in flight and must complete, as pre-split dispatch
+  // already issued it.
+  const std::int64_t done = elapsed / dn;
+  const std::int64_t j = (done == 0 || elapsed % dn != 0) ? done + 1 : done;
+  if (j >= w.waves) return;  // already in the final wave
+  const std::int64_t trimmed = (w.waves - j) * w.slots_held;
+  w.kernel->blocks_left += trimmed;
+  w.kernel->in_flight -= trimmed;
+  waves_coalesced_ -= static_cast<std::uint64_t>(w.waves - j);
+  w.blocks -= trimmed;
+  w.waves = j;
+  w.end = w.start + sim::Duration::Nanos(dn * j);
+  ++w.gen;  // orphan the old end-of-train event
+  env_.ScheduleCallbackAt(w.end, &Gpu::WaveTrampoline, this,
+                          WaveArg(slot, w.gen));
+}
+
+void Gpu::SplitActiveTrains() {
+  for (std::uint64_t i = 0; i < waves_.size(); ++i) {
+    if (waves_[i].active && waves_[i].waves > 1) SplitTrain(i);
+  }
+}
+
+void Gpu::SplitTrainsOfStream(const Stream& s) {
+  for (std::uint64_t i = 0; i < waves_.size(); ++i) {
+    if (waves_[i].active && waves_[i].waves > 1 && waves_[i].stream == &s) {
+      SplitTrain(i);
+    }
+  }
+}
+
 void Gpu::RetireKernel(Stream& s) {
   // Retire s.active: wake the submitting CPU thread, unblock the stream.
-  Kernel* k = s.active.get();
+  Kernel* k = s.active;
   if (s.fail_next) {
     k->failed = true;
     s.fail_next = false;
@@ -245,7 +393,8 @@ void Gpu::RetireKernel(Stream& s) {
     ++kernels_completed_;
   }
   const std::coroutine_handle<> waiter = k->waiter;
-  s.active.reset();  // destroys k
+  s.active = nullptr;
+  FreeKernel(k);
   if (!s.queue.empty()) MarkReady(s.id);
   if (waiter) env_.ScheduleNow(waiter);
 }
@@ -258,6 +407,10 @@ void Gpu::InjectKernelFailure(StreamId stream) {
 }
 
 void Gpu::Hang(sim::Duration d) {
+  // In-flight waves complete, but a coalesced train must stop refilling at
+  // its next wave boundary — split it back to the wave executing now so
+  // per-wave hang semantics are preserved exactly.
+  SplitActiveTrains();
   const sim::TimePoint until = env_.Now() + d;
   if (until > hang_until_) hang_until_ = until;
   hung_ = true;
@@ -277,18 +430,21 @@ void Gpu::HangTrampoline(void* ctx, std::uint64_t arg) {
 
 void Gpu::FailQueued(Stream& s) {
   // Queued (never started) kernels fail immediately.
-  for (auto& k : s.queue) {
+  while (!s.queue.empty()) {
+    Kernel* k = s.queue.pop();
     ++kernels_failed_;
     if (k->failed_out != nullptr) *k->failed_out = true;
     if (k->waiter) env_.ScheduleNow(k->waiter);
+    FreeKernel(k);
   }
-  s.queue.clear();
 }
 
 void Gpu::Reset(sim::Duration outage) {
   ++resets_;
   hung_ = false;
   hang_until_ = env_.Now();
+  // Trains stop refilling at the wave boundary the reset lands in.
+  SplitActiveTrains();
   if (outage > sim::Duration::Zero()) {
     const sim::TimePoint until = env_.Now() + outage;
     if (until > down_until_) down_until_ = until;
@@ -303,11 +459,11 @@ void Gpu::Reset(sim::Duration outage) {
   for (auto& sp : streams_) {
     Stream& s = *sp;
     FailQueued(s);
-    if (s.active) {
+    if (s.active != nullptr) {
       // An executing kernel issues no further waves and retires failed once
       // the waves already on the SMs drain (the reset does not rewind time
       // for work in flight).
-      Kernel* k = s.active.get();
+      Kernel* k = s.active;
       k->failed = true;
       k->blocks_left = 0;
       if (k->in_flight == 0) RetireKernel(s);
@@ -333,9 +489,10 @@ void Gpu::AbortStream(StreamId stream) {
     throw std::out_of_range("AbortStream on unknown stream");
   }
   Stream& s = *streams_[static_cast<std::size_t>(stream)];
+  SplitTrainsOfStream(s);
   FailQueued(s);
-  if (s.active) {
-    Kernel* k = s.active.get();
+  if (s.active != nullptr) {
+    Kernel* k = s.active;
     k->failed = true;
     k->blocks_left = 0;
     if (k->in_flight == 0) RetireKernel(s);
@@ -362,13 +519,50 @@ void Gpu::NoteOccupancyChange(std::int64_t delta) {
 }
 
 metrics::BusyMeter& Gpu::JobMeter(JobId job) {
-  return job_meters_[job];
+  if (job < 0) return nojob_meter_;  // probes and other unattributed work
+  if (static_cast<std::size_t>(job) >= job_slot_.size()) {
+    job_slot_.resize(static_cast<std::size_t>(job) + 1, -1);
+  }
+  std::int32_t slot = job_slot_[static_cast<std::size_t>(job)];
+  if (slot < 0) {
+    if (!meter_free_.empty()) {
+      slot = meter_free_.back();
+      meter_free_.pop_back();
+    } else {
+      slot = static_cast<std::int32_t>(meter_slots_.size());
+      meter_slots_.emplace_back();
+    }
+    meter_slots_[static_cast<std::size_t>(slot)].job = job;
+    meter_slots_[static_cast<std::size_t>(slot)].meter = metrics::BusyMeter{};
+    job_slot_[static_cast<std::size_t>(job)] = slot;
+  }
+  return meter_slots_[static_cast<std::size_t>(slot)].meter;
 }
 
 sim::Duration Gpu::JobGpuDuration(JobId job) const {
-  const auto it = job_meters_.find(job);
-  if (it == job_meters_.end()) return sim::Duration::Zero();
-  return it->second.Total(env_.Now());
+  if (job < 0) return nojob_meter_.Total(env_.Now());
+  if (static_cast<std::size_t>(job) < job_slot_.size()) {
+    const std::int32_t slot = job_slot_[static_cast<std::size_t>(job)];
+    if (slot >= 0) {
+      return meter_slots_[static_cast<std::size_t>(slot)].meter.Total(
+          env_.Now());
+    }
+  }
+  const auto it = job_retired_.find(job);
+  if (it != job_retired_.end()) return it->second;
+  return sim::Duration::Zero();
+}
+
+void Gpu::RetireJob(JobId job) {
+  if (job < 0 || static_cast<std::size_t>(job) >= job_slot_.size()) return;
+  const std::int32_t slot = job_slot_[static_cast<std::size_t>(job)];
+  if (slot < 0) return;
+  JobMeterSlot& ms = meter_slots_[static_cast<std::size_t>(slot)];
+  if (ms.meter.busy()) return;  // kernels still resident; retire after drain
+  job_retired_[job] += ms.meter.Total(env_.Now());
+  ms.job = kNoJob;
+  job_slot_[static_cast<std::size_t>(job)] = -1;
+  meter_free_.push_back(slot);
 }
 
 sim::Duration Gpu::TotalBusy() const { return busy_.Total(env_.Now()); }

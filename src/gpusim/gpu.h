@@ -2,7 +2,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -25,6 +24,8 @@ struct OutOfDeviceMemory : std::runtime_error {
 // Thrown at the Submit await site when a kernel retires with an error — an
 // injected launch failure or a device reset that killed it. Recoverable:
 // the serving layer converts it into a per-request failure and may retry.
+// Also thrown synchronously from Enqueue when a launch fails fast on a
+// down device and the caller gave no `failed_out` to report through.
 struct KernelFailed : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
@@ -79,6 +80,13 @@ class GpuHealthListener {
 // Accounting: per-job busy meters implement the paper's "GPU duration" (the
 // union of intervals during which >= 1 kernel of the job is resident,
 // Figure 5), and a global meter provides nvidia-smi-style utilization.
+//
+// Hot path: kernel records are pooled on a per-device freelist and stream
+// queues are intrusive FIFOs, so steady-state submission is allocation-free.
+// Per-job meters live in a dense slot table with O(1) JobId lookup; the
+// serving layer retires a finished job's meter with RetireJob so live-meter
+// memory stays bounded in long runs. Full-device wave trains are coalesced
+// into a single completion event (see Options::coalesce_wave_trains).
 class Gpu {
  public:
   struct Options {
@@ -94,6 +102,11 @@ class Gpu {
     // clock is drawn once per device instance. Gives profiled totals their
     // few-percent run-to-run spread (paper §4.4).
     double clock_noise_sigma = 0.015;
+    // Coalesce trains of identical full-device waves of one kernel into a
+    // single completion event. Finish times are bit-identical with this on
+    // or off (the train is split back into per-wave granularity if a fault
+    // interrupts it); only the number of simulator events differs.
+    bool coalesce_wave_trains = true;
     std::uint64_t seed = 1;
   };
 
@@ -130,6 +143,20 @@ class Gpu {
     };
     return Awaiter{this, stream, desc};
   }
+
+  // Manual-driver submission entry (Submit is sugar over this). The kernel
+  // is queued on `stream`; `waiter` (may be null for fire-and-forget) is
+  // resumed via the event queue when the kernel retires.
+  //
+  // Failure-reporting contract: a kernel that retires with an error sets
+  // `*failed_out` before the waiter resumes. With `failed_out == nullptr`
+  // retirement errors are NOT reported back (they only show in
+  // kernels_failed()); the one exception is a launch on a *down* device,
+  // which cannot be queued at all — that fails fast by throwing
+  // KernelFailed at the call site, so a manual driver without a flag can
+  // never mistake a rejected launch for a queued one.
+  void Enqueue(StreamId stream, const KernelDesc& desc,
+               std::coroutine_handle<> waiter, bool* failed_out);
 
   // --- fault injection --------------------------------------------------
   //
@@ -203,7 +230,21 @@ class Gpu {
   const GpuSpec& spec() const { return options_.spec; }
 
   // Total "GPU duration" accumulated by `job` up to now (Figure 5).
+  // Retired jobs report the total frozen at retirement.
   sim::Duration JobGpuDuration(JobId job) const;
+
+  // Retire `job`'s live meter: its accumulated duration moves to the
+  // retired table (still visible through JobGpuDuration) and the meter
+  // slot is recycled. Call when the serving layer knows the job will
+  // submit no more kernels; a no-op if the job is unknown, already
+  // retired, or still has kernels resident (retire again after drain).
+  void RetireJob(JobId job);
+
+  // Number of live (non-retired) per-job meters — bounded by the number of
+  // in-service jobs, not by the total jobs ever served.
+  std::size_t live_job_meters() const {
+    return meter_slots_.size() - meter_free_.size();
+  }
 
   // Time during which >= 1 kernel was resident (nvidia-smi utilization
   // numerator).
@@ -222,6 +263,8 @@ class Gpu {
   std::uint64_t kernels_failed() const { return kernels_failed_; }
   std::uint64_t resets() const { return resets_; }
   std::uint64_t waves_dispatched() const { return waves_dispatched_; }
+  // Wave-completion timer events elided by train coalescing so far.
+  std::uint64_t waves_coalesced() const { return waves_coalesced_; }
   std::int64_t free_slots() const { return free_slots_; }
   bool idle() const { return busy_.depth() == 0; }
 
@@ -239,12 +282,37 @@ class Gpu {
     bool failed = false;
     std::coroutine_handle<> waiter;
     bool* failed_out = nullptr;  // points into the submitter's awaiter frame
+    Kernel* next = nullptr;      // intrusive link: stream FIFO / freelist
+  };
+
+  // Intrusive FIFO of pooled Kernel records (no per-node allocation).
+  struct KernelQueue {
+    Kernel* head = nullptr;
+    Kernel* tail = nullptr;
+    bool empty() const { return head == nullptr; }
+    void push(Kernel* k) {
+      k->next = nullptr;
+      if (tail != nullptr) {
+        tail->next = k;
+      } else {
+        head = k;
+      }
+      tail = k;
+    }
+    Kernel* pop() {
+      Kernel* k = head;
+      head = k->next;
+      if (head == nullptr) tail = nullptr;
+      k->next = nullptr;
+      return k;
+    }
+    void clear() { head = tail = nullptr; }
   };
 
   struct Stream {
     StreamId id = -1;
-    std::deque<std::unique_ptr<Kernel>> queue;
-    std::unique_ptr<Kernel> active;  // at most one kernel executing per stream
+    KernelQueue queue;
+    Kernel* active = nullptr;  // at most one kernel executing per stream
     bool in_ready_list = false;
     // One-shot injected fault: fail the next kernel retiring on this stream.
     bool fail_next = false;
@@ -252,25 +320,49 @@ class Gpu {
     double arb_weight = 1.0;
   };
 
+  // One scheduled occupancy: a single wave, an exclusive kernel's whole
+  // residency, or a coalesced train of `waves` identical full-device waves.
   struct Wave {
-    Kernel* kernel;
-    Stream* stream;
-    std::int64_t blocks;      // kernel blocks retired when this wave ends
-    std::int64_t slots_held;  // device slots occupied while it runs
+    Kernel* kernel = nullptr;
+    Stream* stream = nullptr;
+    std::int64_t blocks = 0;      // kernel blocks retired when this ends
+    std::int64_t slots_held = 0;  // device slots occupied while it runs
+    std::int64_t waves = 1;       // >1 only for a coalesced train
+    sim::TimePoint start;
+    sim::TimePoint end;
+    sim::Duration wave_d;  // one wave's duration (train granularity)
+    bool active = false;
+    // Bumped on release and on train split so a stale timer event for a
+    // recycled or truncated slot is ignored.
+    std::uint32_t gen = 0;
   };
 
-  void Enqueue(StreamId stream, const KernelDesc& desc,
-               std::coroutine_handle<> waiter, bool* failed_out);
   void Dispatch();
   bool StreamReady(const Stream& s) const;
   void MarkReady(StreamId id);
-  void OnWaveDone(std::uint64_t wave_slot);
+  std::uint64_t AcquireWaveSlot();
+  void ReleaseWaveSlot(std::uint64_t slot);
+  // Largest number of identical `d`-long full-device waves of `k` that can
+  // run back to back from now without crossing any other occupancy's end
+  // (1 if coalescing is off or unsafe).
+  std::int64_t CoalescibleWaves(const Kernel* k, sim::Duration d,
+                                std::int64_t max_waves) const;
+  // Truncate an in-flight coalesced train to the wave executing now,
+  // returning the not-yet-run blocks to the kernel. Restores per-wave
+  // fault semantics (a hang/reset/abort interrupts trains at the next
+  // wave boundary, exactly as the uncoalesced path would).
+  void SplitTrain(std::uint64_t slot);
+  void SplitActiveTrains();
+  void SplitTrainsOfStream(const Stream& s);
+  void OnWaveDone(std::uint64_t slot_and_gen);
   void RetireKernel(Stream& s);  // s.active retired (ok or failed)
   void FailQueued(Stream& s);    // fail every queued kernel immediately
   static void WaveTrampoline(void* ctx, std::uint64_t arg);
   static void HangTrampoline(void* ctx, std::uint64_t arg);
   static void DownTrampoline(void* ctx, std::uint64_t arg);
   void NoteOccupancyChange(std::int64_t delta);
+  Kernel* AllocKernel();
+  void FreeKernel(Kernel* k);
   metrics::BusyMeter& JobMeter(JobId job);
 
   sim::Environment& env_;
@@ -283,11 +375,25 @@ class Gpu {
   std::int64_t burst_left_ = 0;
 
   std::int64_t free_slots_;
-  std::vector<Wave> waves_;            // slot-indexed, reused
+  std::vector<Wave> waves_;  // slot-indexed, reused
   std::vector<std::uint64_t> free_wave_slots_;
 
-  std::unordered_map<JobId, metrics::BusyMeter> job_meters_;
-  std::unordered_map<JobId, sim::Duration> job_retired_;  // finished jobs
+  // Pooled kernel records: chunked storage + freelist.
+  std::vector<std::unique_ptr<Kernel[]>> kernel_chunks_;
+  Kernel* kernel_free_ = nullptr;
+
+  // Dense per-job meters: job_slot_[job] indexes meter_slots_; retired
+  // jobs keep only their total duration in job_retired_.
+  struct JobMeterSlot {
+    JobId job = kNoJob;
+    metrics::BusyMeter meter;
+  };
+  std::vector<JobMeterSlot> meter_slots_;
+  std::vector<std::int32_t> meter_free_;
+  std::vector<std::int32_t> job_slot_;  // JobId-indexed; -1 = absent
+  std::unordered_map<JobId, sim::Duration> job_retired_;
+  metrics::BusyMeter nojob_meter_;  // job < 0 (health probes etc.)
+
   metrics::BusyMeter busy_;
   double occupancy_integral_ = 0.0;  // slot-seconds
   std::int64_t occupied_slots_ = 0;
@@ -298,6 +404,7 @@ class Gpu {
   std::uint64_t kernels_failed_ = 0;
   std::uint64_t resets_ = 0;
   std::uint64_t waves_dispatched_ = 0;
+  std::uint64_t waves_coalesced_ = 0;
   bool dispatching_ = false;
 
   // Fault-injection state.

@@ -14,16 +14,50 @@ Executor::Executor(sim::Environment& env, gpusim::Gpu& gpu, ThreadPool& pool,
       rng_(seed),
       hooks_(hooks) {}
 
-Executor::RunState::RunState(sim::Environment& env, const Graph& g,
-                             CostProfile* prof)
-    : graph(&g), profile(prof), remaining(g.size()), all_done(env) {
-  pending.reserve(g.size());
+void Executor::RunState::Reset(const Graph& g, CostProfile* prof) {
+  graph = &g;
+  profile = prof;
+  remaining = g.size();
+  pending.clear();
   for (const Node& n : g.nodes()) {
     pending.push_back(static_cast<std::int32_t>(n.inputs.size()));
   }
   if (profile != nullptr && profile->size() != g.size()) {
     profile->Resize(g.size());
   }
+}
+
+Executor::RunState* Executor::AcquireRunState(const Graph& graph,
+                                              CostProfile* profile) {
+  RunState* st;
+  if (!runstate_free_.empty()) {
+    st = runstate_free_.back();
+    runstate_free_.pop_back();
+  } else {
+    runstate_store_.push_back(std::make_unique<RunState>(env_));
+    st = runstate_store_.back().get();
+  }
+  st->Reset(graph, profile);
+  return st;
+}
+
+void Executor::ReleaseRunState(RunState* st) {
+  runstate_free_.push_back(st);
+}
+
+Executor::BfsQueue* Executor::AcquireBfs() {
+  if (!bfs_free_.empty()) {
+    BfsQueue* q = bfs_free_.back();
+    bfs_free_.pop_back();
+    return q;
+  }
+  bfs_store_.push_back(std::make_unique<BfsQueue>());
+  return bfs_store_.back().get();
+}
+
+void Executor::ReleaseBfs(BfsQueue* q) {
+  q->reset();
+  bfs_free_.push_back(q);
 }
 
 sim::Task Executor::RunOnce(JobContext& ctx, const Graph& graph,
@@ -39,7 +73,7 @@ sim::Task Executor::RunOnce(JobContext& ctx, const Graph& graph,
 
 sim::Task Executor::RunOnceImpl(JobContext& ctx, const Graph& graph,
                                 CostProfile* profile) {
-  RunState st(env_, graph, profile);
+  RunState& st = *AcquireRunState(graph, profile);
   // Algorithm 2, lines 4-5: register and reset the gang-shared cost.
   ctx.cumulated_cost = 0.0;
   if (hooks_ != nullptr) hooks_->RegisterRun(ctx);
@@ -50,6 +84,8 @@ sim::Task Executor::RunOnceImpl(JobContext& ctx, const Graph& graph,
   while (st.remaining > 0) co_await st.all_done.Wait();
   if (hooks_ != nullptr) hooks_->DeregisterRun(ctx);
   ++runs_completed_;
+  // Only now is the state guaranteed unreferenced by pool threads.
+  ReleaseRunState(&st);
 }
 
 void Executor::NotifyCancel(JobContext& ctx) {
@@ -61,11 +97,10 @@ void Executor::NotifyCancel(JobContext& ctx) {
 }
 
 sim::Task Executor::Process(JobContext& ctx, RunState& st, NodeId start) {
-  std::deque<NodeId> bfs_queue;
-  bfs_queue.push_back(start);
+  BfsQueue& bfs_queue = *AcquireBfs();
+  bfs_queue.push(start);
   while (!bfs_queue.empty()) {
-    const NodeId nid = bfs_queue.front();
-    bfs_queue.pop_front();
+    const NodeId nid = bfs_queue.pop();
     const Node& node = st.graph->node(nid);
 
     bool cancelled = IsCancelled(ctx);
@@ -98,7 +133,7 @@ sim::Task Executor::Process(JobContext& ctx, RunState& st, NodeId start) {
         if (cancelled || !st.graph->node(child).is_gpu()) {
           // Synchronous — or cancelled, in which case the rest of the graph
           // drains inline as no-ops without touching the pool.
-          bfs_queue.push_back(child);
+          bfs_queue.push(child);
         } else {
           // Asynchronous: fetch a pool thread to continue from this node
           // (Algorithm 1, lines 13-15). &ctx and &st outlive the item: the
@@ -109,6 +144,7 @@ sim::Task Executor::Process(JobContext& ctx, RunState& st, NodeId start) {
       }
     }
   }
+  ReleaseBfs(&bfs_queue);
 }
 
 sim::Task Executor::Compute(JobContext& ctx, RunState& st, const Node& node) {
@@ -151,8 +187,11 @@ sim::Task Executor::Compute(JobContext& ctx, RunState& st, const Node& node) {
         node.id, static_cast<double>((env_.Now() - t0).nanos()));
   }
   if (options_.tracer != nullptr && !options_.tracer->full()) {
+    // Node names repeat across runs of the same graph: interning hits the
+    // dedup table after the first run and copies nothing.
     options_.tracer->AddSpan(node.is_gpu() ? "gpu-node" : "cpu-node",
-                             node.name, ctx.job, t0, env_.Now());
+                             options_.tracer->Intern(node.name), ctx.job, t0,
+                             env_.Now());
   }
 }
 

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <vector>
 
 #include "gpusim/gpu.h"
 #include "graph/cost_model.h"
@@ -73,15 +74,38 @@ class Executor {
   std::uint64_t nodes_cancelled() const { return nodes_cancelled_; }
 
  private:
+  // Per-run bookkeeping. Instances are pooled on the executor and recycled
+  // across runs (Acquire/Release below): `pending` keeps its heap buffer,
+  // so steady-state request admission allocates nothing.
   struct RunState {
-    explicit RunState(sim::Environment& env, const Graph& g,
-                      CostProfile* prof);
-    const Graph* graph;
-    CostProfile* profile;
+    explicit RunState(sim::Environment& env) : all_done(env) {}
+    void Reset(const Graph& g, CostProfile* prof);
+    const Graph* graph = nullptr;
+    CostProfile* profile = nullptr;
     std::vector<std::int32_t> pending;
-    std::size_t remaining;
+    std::size_t remaining = 0;
     sim::CondVar all_done;
   };
+
+  // BFS traversal scratch: a flat FIFO that keeps its buffer across runs.
+  // One is held per live Process coroutine (gangs traverse concurrently),
+  // pooled like RunState.
+  struct BfsQueue {
+    std::vector<NodeId> buf;
+    std::size_t head = 0;
+    bool empty() const { return head == buf.size(); }
+    void push(NodeId n) { buf.push_back(n); }
+    NodeId pop() { return buf[head++]; }
+    void reset() {
+      buf.clear();
+      head = 0;
+    }
+  };
+
+  RunState* AcquireRunState(const Graph& graph, CostProfile* profile);
+  void ReleaseRunState(RunState* st);
+  BfsQueue* AcquireBfs();
+  void ReleaseBfs(BfsQueue* q);
 
   sim::Task RunOnceImpl(JobContext& ctx, const Graph& graph,
                         CostProfile* profile);
@@ -103,6 +127,12 @@ class Executor {
   std::uint64_t runs_completed_ = 0;
   std::uint64_t nodes_executed_ = 0;
   std::uint64_t nodes_cancelled_ = 0;
+
+  // Scratch pools (owning stores + freelists of recyclable instances).
+  std::vector<std::unique_ptr<RunState>> runstate_store_;
+  std::vector<RunState*> runstate_free_;
+  std::vector<std::unique_ptr<BfsQueue>> bfs_store_;
+  std::vector<BfsQueue*> bfs_free_;
 };
 
 }  // namespace olympian::graph

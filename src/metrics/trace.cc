@@ -4,26 +4,47 @@
 
 namespace olympian::metrics {
 
-void Tracer::AddSpan(const char* category, std::string name,
+void Tracer::AddSpan(const char* category, const char* name,
                      std::int64_t track, sim::TimePoint start,
                      sim::TimePoint end) {
   if (full()) return;
-  events_.push_back(Event{category, std::move(name), track, start.nanos(),
+  events_.push_back(Event{category, name, kNoNumber, track, start.nanos(),
                           (end - start).nanos()});
 }
 
-void Tracer::AddInstant(const char* category, std::string name,
+void Tracer::AddInstant(const char* category, const char* name,
                         std::int64_t track, sim::TimePoint t) {
   if (full()) return;
-  events_.push_back(Event{category, std::move(name), track, t.nanos(), -1});
+  events_.push_back(Event{category, name, kNoNumber, track, t.nanos(), -1});
+}
+
+void Tracer::AddSpanNumbered(const char* category, const char* name,
+                             std::int64_t number, std::int64_t track,
+                             sim::TimePoint start, sim::TimePoint end) {
+  if (full()) return;
+  events_.push_back(
+      Event{category, name, number, track, start.nanos(), (end - start).nanos()});
+}
+
+void Tracer::AddInstantNumbered(const char* category, const char* name,
+                                std::int64_t number, std::int64_t track,
+                                sim::TimePoint t) {
+  if (full()) return;
+  events_.push_back(Event{category, name, number, track, t.nanos(), -1});
+}
+
+const char* Tracer::Intern(std::string_view s) {
+  const auto it = interned_.find(s);
+  if (it != interned_.end()) return it->c_str();
+  return interned_.emplace(s).first->c_str();
 }
 
 namespace {
 
-void EscapeInto(std::ostream& os, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
+void EscapeInto(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
   }
 }
 
@@ -40,6 +61,7 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
     const double ts_us = static_cast<double>(e.start_ns) / 1e3;
     os << R"({"cat":")" << e.category << R"(","name":")";
     EscapeInto(os, e.name);
+    if (e.number != kNoNumber) os << e.number;
     os << R"(","pid":1,"tid":)" << e.track << R"(,"ts":)" << ts_us;
     if (e.dur_ns < 0) {
       os << R"(,"ph":"i","s":"t"})";

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
@@ -17,12 +19,21 @@ namespace olympian::metrics {
 // so a run's token tenures, node executions, and kernel waits are visible
 // on one timeline.
 //
+// Hot path: recording is allocation-free. Events are PODs holding
+// `const char*` names (string literals, or strings interned once via
+// Intern()) and are appended into storage preallocated for `max_events`
+// at construction. Per-tenure names that embed a changing integer (e.g.
+// "job-17") use the *Numbered variants, which store the integer and render
+// it only at export time instead of composing a std::string per event.
+//
 // Recording stops silently once `max_events` is reached (a full serving run
 // executes millions of nodes; traces are for inspecting windows, not whole
 // runs).
 class Tracer {
  public:
-  explicit Tracer(std::size_t max_events = 200000) : max_events_(max_events) {}
+  explicit Tracer(std::size_t max_events = 200000) : max_events_(max_events) {
+    events_.reserve(max_events_);
+  }
 
   // Track used by the scheduler for token tenures.
   static constexpr std::int64_t kSchedulerTrack = -1;
@@ -32,17 +43,38 @@ class Tracer {
   // outage spans.
   static constexpr std::int64_t kHealthTrack = -3;
 
-  void AddSpan(const char* category, std::string name, std::int64_t track,
+  // Sentinel: event has no numeric name suffix.
+  static constexpr std::int64_t kNoNumber = INT64_MIN;
+
+  // `name` must outlive the tracer: a string literal, a stable component
+  // name, or the result of Intern().
+  void AddSpan(const char* category, const char* name, std::int64_t track,
                sim::TimePoint start, sim::TimePoint end);
-  void AddInstant(const char* category, std::string name, std::int64_t track,
+  void AddInstant(const char* category, const char* name, std::int64_t track,
                   sim::TimePoint t);
+
+  // As above, but the exported name is `name` immediately followed by
+  // `number` in decimal (e.g. "job-" + 17 → "job-17"). Avoids composing a
+  // heap string per event on per-quantum paths.
+  void AddSpanNumbered(const char* category, const char* name,
+                       std::int64_t number, std::int64_t track,
+                       sim::TimePoint start, sim::TimePoint end);
+  void AddInstantNumbered(const char* category, const char* name,
+                          std::int64_t number, std::int64_t track,
+                          sim::TimePoint t);
+
+  // Returns a pointer, stable for the tracer's lifetime, to a deduplicated
+  // copy of `s`. For cold paths that compose names dynamically (health
+  // transitions, fault descriptions); repeated strings are stored once.
+  const char* Intern(std::string_view s);
 
   std::size_t size() const { return events_.size(); }
   bool full() const { return events_.size() >= max_events_; }
 
   struct Event {
     const char* category;
-    std::string name;
+    const char* name;
+    std::int64_t number;  // kNoNumber => name stands alone
     std::int64_t track;
     std::int64_t start_ns;
     std::int64_t dur_ns;  // -1 => instant
@@ -55,8 +87,16 @@ class Tracer {
   void WriteChromeTrace(std::ostream& os) const;
 
  private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::size_t max_events_;
   std::vector<Event> events_;
+  std::unordered_set<std::string, StringHash, std::equal_to<>> interned_;
 };
 
 }  // namespace olympian::metrics

@@ -115,9 +115,10 @@ void HealthMonitor::Transition(std::size_t gpu, DeviceHealth to) {
   d.state_since = now;
   if (counters_ != nullptr) ++counters_->health_transitions;
   if (tracer_ != nullptr && !tracer_->full()) {
-    tracer_->AddInstant("health",
-                        "gpu" + std::to_string(gpu) + ": " + ToString(to),
-                        metrics::Tracer::kHealthTrack, now);
+    tracer_->AddInstant(
+        "health",
+        tracer_->Intern("gpu" + std::to_string(gpu) + ": " + ToString(to)),
+        metrics::Tracer::kHealthTrack, now);
   }
 }
 
@@ -152,7 +153,8 @@ void HealthMonitor::Readmit(std::size_t gpu) {
   ++d.generation;  // invalidate leftover escalation timers from the episode
   if (counters_ != nullptr) ++counters_->device_readmissions;
   if (tracer_ != nullptr && !tracer_->full()) {
-    tracer_->AddSpan("health", "gpu" + std::to_string(gpu) + " outage",
+    tracer_->AddSpan("health",
+                     tracer_->Intern("gpu" + std::to_string(gpu) + " outage"),
                      metrics::Tracer::kHealthTrack, d.down_since, now);
   }
   Transition(gpu, DeviceHealth::kHealthy);

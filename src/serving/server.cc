@@ -129,11 +129,15 @@ sim::Task Experiment::ClientProc(std::size_t client_index,
     for (const auto& [key, c] : client_gpu_ctx_) {
       if (key.first == client_index) {
         out.gpu_duration += gpus_[key.second]->JobGpuDuration(c->job);
+        // The client is done: fold its meter into the retired table so live
+        // meter count stays bounded no matter how many jobs a run admits.
+        gpus_[key.second]->RetireJob(c->job);
       }
     }
     if (--remaining_clients_ == 0) health_->Stop();
   } else {
     out.gpu_duration = gpus_[out.gpu_index]->JobGpuDuration(ctx.job);
+    gpus_[out.gpu_index]->RetireJob(ctx.job);
   }
 }
 

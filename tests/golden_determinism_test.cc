@@ -139,5 +139,112 @@ TEST(GoldenDeterminismTest, OlympianMatchesGoldenAndReplays) {
   EXPECT_EQ(a, kGoldenOlympian) << "Olympian run diverged from golden values";
 }
 
+// ---------------------------------------------------------------------------
+// Wave-train coalescing: collapsing k identical back-to-back waves into one
+// timer event is a pure event-count optimization — it must never move a
+// finish time. The serving workload above never triggers it (production
+// batches saturate the device and run exclusive), so this exercises the
+// coalesced path directly: a long backdrop kernel pins most of the device
+// while short kernels stream multi-wave trains through the leftover slots.
+
+namespace {
+
+struct TrainRun {
+  std::vector<std::int64_t> done_ns;
+  std::uint64_t waves_dispatched = 0;
+  std::uint64_t waves_coalesced = 0;
+  std::uint64_t kernels_completed = 0;
+};
+
+sim::Task OneKernel(gpusim::Gpu& gpu, sim::Environment& env,
+                    gpusim::StreamId s, gpusim::KernelDesc d,
+                    std::vector<std::int64_t>& done_ns, std::size_t slot) {
+  co_await gpu.Submit(s, d);
+  done_ns[slot] = (env.Now() - sim::TimePoint()).nanos();
+}
+
+TrainRun RunWaveTrains(bool coalesce, bool hang_mid_train) {
+  sim::Environment env;
+  gpusim::Gpu::Options o;
+  o.spec = gpusim::GpuSpec{.name = "train-test",
+                           .num_sms = 8,
+                           .max_blocks_per_sm = 1,
+                           .clock_scale = 1.0,
+                           .memory_mb = 1000};
+  o.clock_noise_sigma = 0.0;
+  o.seed = 11;
+  o.coalesce_wave_trains = coalesce;
+  gpusim::Gpu gpu(env, o);
+  const auto backdrop = gpu.CreateStream();
+  const auto train = gpu.CreateStream();
+  constexpr int kTrains = 40;
+  std::vector<std::int64_t> done(kTrains + 1, -1);
+  // Holds 6 of 8 slots for a long time so the train kernels below see a
+  // steady 2 free slots — the full-refill precondition for coalescing.
+  env.Spawn(OneKernel(gpu, env, backdrop,
+                      gpusim::KernelDesc{.job = 0, .thread_blocks = 6,
+                                         .block_work = sim::Duration::Millis(40)},
+                      done, 0));
+  // Each kernel is 7 blocks through 2 slots: waves of 2/2/2/1, the first
+  // issue qualifying as a coalescible 3-wave train.
+  for (int i = 0; i < kTrains; ++i) {
+    env.Spawn(OneKernel(gpu, env, train,
+                        gpusim::KernelDesc{.job = 1, .thread_blocks = 7,
+                                           .block_work = sim::Duration::Micros(5)},
+                        done, static_cast<std::size_t>(i) + 1));
+  }
+  if (hang_mid_train) {
+    // Lands mid-train for several kernels; coalesced trains must split so
+    // un-issued waves stall exactly as they would uncoalesced.
+    env.ScheduleCallbackAt(
+        sim::TimePoint() + sim::Duration::Micros(203),
+        [](void* ctx, std::uint64_t) {
+          static_cast<gpusim::Gpu*>(ctx)->Hang(sim::Duration::Micros(90));
+        },
+        &gpu, 0);
+  }
+  env.Run();
+  return TrainRun{.done_ns = std::move(done),
+                  .waves_dispatched = gpu.waves_dispatched(),
+                  .waves_coalesced = gpu.waves_coalesced(),
+                  .kernels_completed = gpu.kernels_completed()};
+}
+
+}  // namespace
+
+TEST(GoldenDeterminismTest, WaveTrainCoalescingPreservesFinishTimes) {
+  const TrainRun on = RunWaveTrains(/*coalesce=*/true, /*hang_mid_train=*/false);
+  const TrainRun off =
+      RunWaveTrains(/*coalesce=*/false, /*hang_mid_train=*/false);
+  EXPECT_GT(on.waves_coalesced, 0u) << "scenario failed to trigger coalescing";
+  EXPECT_EQ(off.waves_coalesced, 0u);
+  // Semantic wave/kernel counts match; only timer events are elided.
+  EXPECT_EQ(on.waves_dispatched, off.waves_dispatched);
+  EXPECT_EQ(on.kernels_completed, off.kernels_completed);
+  ASSERT_EQ(on.done_ns.size(), off.done_ns.size());
+  for (std::size_t i = 0; i < on.done_ns.size(); ++i) {
+    EXPECT_EQ(on.done_ns[i], off.done_ns[i]) << "kernel " << i;
+    EXPECT_GE(on.done_ns[i], 0) << "kernel " << i << " never finished";
+  }
+  // And the coalesced path replays bit-identically.
+  const TrainRun replay =
+      RunWaveTrains(/*coalesce=*/true, /*hang_mid_train=*/false);
+  EXPECT_EQ(replay.done_ns, on.done_ns);
+  EXPECT_EQ(replay.waves_coalesced, on.waves_coalesced);
+}
+
+TEST(GoldenDeterminismTest, HangSplitsTrainsWithoutMovingFinishTimes) {
+  const TrainRun on = RunWaveTrains(/*coalesce=*/true, /*hang_mid_train=*/true);
+  const TrainRun off =
+      RunWaveTrains(/*coalesce=*/false, /*hang_mid_train=*/true);
+  EXPECT_GT(on.waves_coalesced, 0u) << "scenario failed to trigger coalescing";
+  EXPECT_EQ(on.kernels_completed, off.kernels_completed);
+  ASSERT_EQ(on.done_ns.size(), off.done_ns.size());
+  for (std::size_t i = 0; i < on.done_ns.size(); ++i) {
+    EXPECT_EQ(on.done_ns[i], off.done_ns[i]) << "kernel " << i;
+    EXPECT_GE(on.done_ns[i], 0) << "kernel " << i << " never finished";
+  }
+}
+
 }  // namespace
 }  // namespace olympian

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "gpusim/gpu.h"
@@ -398,6 +399,110 @@ TEST(GpuTest, EnergyModelAccumulates) {
                            spec.occupancy_watts) * 1e-3;
   EXPECT_NEAR(gpu.EnergyJoules(), expect_j, 0.05 * expect_j);
   EXPECT_GT(gpu.MeanPowerWatts(), spec.idle_watts);
+}
+
+TEST(GpuTest, RetiredJobMetersStayBoundedAtServingScale) {
+  // ~100k short single-kernel jobs, retired as they finish. The live meter
+  // table must stay bounded by the in-service job count (here: the batch
+  // width), not by the total jobs ever served, and a retired job's
+  // accumulated duration must remain queryable.
+  Environment env;
+  Gpu gpu(env, SmallGpu(8));
+  auto s = gpu.CreateStream();
+  constexpr JobId kJobs = 100000;
+  constexpr JobId kBatch = 16;
+  std::size_t max_live = 0;
+  auto runner = [&](JobId first) -> Task {
+    for (JobId j = first; j < first + kBatch && j < kJobs; ++j) {
+      co_await gpu.Submit(s, KernelDesc{.job = j, .thread_blocks = 1,
+                                        .block_work = Duration::Nanos(10)});
+    }
+  };
+  for (JobId base = 0; base < kJobs; base += kBatch) {
+    env.Spawn(runner(base));
+    env.Run();
+    max_live = std::max(max_live, gpu.live_job_meters());
+    for (JobId j = base; j < base + kBatch && j < kJobs; ++j) gpu.RetireJob(j);
+    max_live = std::max(max_live, gpu.live_job_meters());
+  }
+  EXPECT_EQ(gpu.kernels_completed(), static_cast<std::uint64_t>(kJobs));
+  EXPECT_LE(max_live, static_cast<std::size_t>(kBatch));
+  EXPECT_EQ(gpu.live_job_meters(), 0u);
+  // Retired meters still answer JobGpuDuration.
+  EXPECT_EQ(gpu.JobGpuDuration(0), Duration::Nanos(10));
+  EXPECT_EQ(gpu.JobGpuDuration(kJobs - 1), Duration::Nanos(10));
+  // Retiring is idempotent and tolerates unknown jobs.
+  gpu.RetireJob(0);
+  gpu.RetireJob(kJobs + 5);
+  EXPECT_EQ(gpu.JobGpuDuration(0), Duration::Nanos(10));
+}
+
+TEST(GpuTest, RetireWhileResidentIsDeferredNoOp) {
+  Environment env;
+  Gpu gpu(env, SmallGpu(4));
+  auto s = gpu.CreateStream();
+  TimePoint done;
+  env.Spawn(SubmitOne(gpu, env, s,
+                      KernelDesc{.job = 3, .thread_blocks = 4,
+                                 .block_work = Duration::Micros(10)},
+                      done));
+  bool live_while_resident = false;
+  auto mid = [&]() -> Task {
+    co_await env.Delay(Duration::Micros(5));  // kernel in flight
+    gpu.RetireJob(3);  // must not drop an in-service meter
+    live_while_resident = gpu.live_job_meters() == 1;
+  };
+  env.Spawn(mid());
+  env.Run();
+  EXPECT_TRUE(live_while_resident);
+  EXPECT_EQ(gpu.JobGpuDuration(3), Duration::Micros(10));
+  gpu.RetireJob(3);
+  EXPECT_EQ(gpu.live_job_meters(), 0u);
+  EXPECT_EQ(gpu.JobGpuDuration(3), Duration::Micros(10));
+}
+
+TEST(GpuTest, EnqueueOnDownDeviceThrowsWithoutFailureFlag) {
+  // Contract: with `failed_out == nullptr` a launch on a down device cannot
+  // report the error through a flag, so Enqueue throws synchronously
+  // instead of pretending the kernel was queued.
+  Environment env;
+  Gpu gpu(env, SmallGpu(4));
+  auto s = gpu.CreateStream();
+  gpu.Reset(Duration::Millis(5));
+  EXPECT_TRUE(gpu.down());
+  const auto before = gpu.kernels_failed();
+  EXPECT_THROW(gpu.Enqueue(s,
+                           KernelDesc{.job = 0, .thread_blocks = 1,
+                                      .block_work = Duration::Micros(1)},
+                           {}, nullptr),
+               KernelFailed);
+  EXPECT_EQ(gpu.kernels_failed(), before + 1);
+}
+
+TEST(GpuTest, EnqueueOnDownDeviceReportsThroughFailureFlag) {
+  // With a `failed_out` the same launch fails fast through the flag and the
+  // waiter is resumed (asynchronously, preserving no-reentrancy), without
+  // throwing.
+  Environment env;
+  Gpu gpu(env, SmallGpu(4));
+  auto s = gpu.CreateStream();
+  gpu.Reset(Duration::Millis(5));
+  bool threw = false;
+  TimePoint failed_at;
+  auto submit = [&]() -> Task {
+    try {
+      co_await gpu.Submit(s, KernelDesc{.job = 0, .thread_blocks = 1,
+                                        .block_work = Duration::Micros(1)});
+    } catch (const KernelFailed&) {
+      threw = true;
+      failed_at = env.Now();
+    }
+  };
+  env.Spawn(submit());
+  env.Run();
+  EXPECT_TRUE(threw);
+  // Failed fast at submit time, not after the outage cleared.
+  EXPECT_LT(failed_at, TimePoint() + Duration::Millis(5));
 }
 
 }  // namespace

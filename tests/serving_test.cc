@@ -32,6 +32,21 @@ TEST(ExperimentTest, SingleClientCompletes) {
   EXPECT_GT(exp.utilization(), 0.2);
 }
 
+TEST(ExperimentTest, JobMetersRetiredAfterRun) {
+  // The serving layer retires every client job's meter when the client
+  // drains, so long-lived servers don't accumulate one meter per job ever
+  // served. (The probe/no-job meter is tracked separately and the retired
+  // durations stay queryable — gpu_duration above proves that.)
+  Experiment exp(ServerOptions{});
+  std::vector<ClientSpec> clients(8, SmallClient());
+  auto results = exp.Run(clients);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.batches_completed, 2);
+    EXPECT_GT(r.gpu_duration, Duration::Zero());
+  }
+  EXPECT_EQ(exp.gpu().live_job_meters(), 0u);
+}
+
 TEST(ExperimentTest, RunTwiceRejected) {
   Experiment exp(ServerOptions{});
   exp.Run({SmallClient()});
