@@ -70,8 +70,16 @@ int main() {
         opts.degradation.retry.max_retries = 3;
         opts.faults = OutagePlan(resets);
         opts.failover.enabled = failover;
+        // Live observability: sample device health / utilization / queue
+        // depth on the virtual clock and embed the timeline in the
+        // artifact, so an outage is visible as a dip in the series.
+        metrics::MetricRegistry registry;
+        opts.observability.registry = &registry;
+        opts.observability.sample_interval = sim::Duration::Millis(50);
         serving::Experiment exp(opts);
         const auto results = exp.Run(Tenants());
+        out.timeline =
+            std::make_shared<bench::Json>(bench::TimelineJson(registry));
 
         int total = 0, served = 0;
         metrics::Series latency;

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate the artifacts written by examples/observability_tour.
+
+Used by the CI observability-tour job:
+
+    ./build/examples/observability_tour
+    python3 bench/check_observability.py
+
+Checks:
+  * observability_trace.json is valid Chrome trace JSON; every record has
+    the required fields; at least one request flow (ph s/t/f sharing an id)
+    crosses >= 2 device tracks and is well-formed (one begin, one end,
+    "bp":"e" on the terminator, hops monotone in time).
+  * observability_metrics.prom parses as Prometheus text exposition: every
+    sample belongs to a family with a # TYPE header, histogram buckets are
+    cumulative and end at le="+Inf" with a count matching _count, and the
+    expected olympian_* families are present.
+  * observability_timeline.json parses, and every series has labeled
+    points with strictly increasing timestamps.
+
+Exit status: 0 on pass, 1 on any failure, 2 when an artifact is missing.
+"""
+
+import json
+import re
+import sys
+
+TRACE = "observability_trace.json"
+PROM = "observability_metrics.prom"
+TIMELINE = "observability_timeline.json"
+
+failures = []
+
+
+def fail(msg):
+    failures.append(msg)
+    print(f"FAIL  {msg}")
+
+
+def ok(msg):
+    print(f"  ok  {msg}")
+
+
+def load(path, parser):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return parser(f)
+    except OSError as e:
+        print(f"error: cannot read {path}: {e} — run observability_tour first",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def check_trace():
+    events = load(TRACE, json.load)
+    if not isinstance(events, list) or not events:
+        fail(f"{TRACE}: expected a non-empty JSON array")
+        return
+    for i, e in enumerate(events):
+        for field in ("cat", "name", "pid", "tid", "ts", "ph"):
+            if field not in e:
+                fail(f"{TRACE}: event {i} missing {field!r}")
+                return
+    ok(f"{TRACE}: {len(events)} records, all with required fields")
+
+    phases = {e["ph"] for e in events}
+    for ph, what in (("X", "spans"), ("s", "flow begins"), ("f", "flow ends")):
+        if ph not in phases:
+            fail(f"{TRACE}: no {what} (ph={ph!r})")
+
+    # Request flows: hops grouped by id must include one chain across >= 2
+    # tracks, beginning once and ending once, monotone in time.
+    flows = {}
+    for e in events:
+        if e["ph"] in ("s", "t", "f") and e["cat"] == "request":
+            flows.setdefault(e["id"], []).append(e)
+    if not flows:
+        fail(f"{TRACE}: no request flow events")
+        return
+    crossing = None
+    for fid, hops in flows.items():
+        if len({h["tid"] for h in hops}) >= 2:
+            crossing = fid
+            break
+    if crossing is None:
+        fail(f"{TRACE}: no flow crosses device tracks")
+        return
+    hops = flows[crossing]
+    if [h["ph"] for h in hops].count("s") != 1:
+        fail(f"{TRACE}: flow {crossing} does not begin exactly once")
+    if [h["ph"] for h in hops].count("f") != 1:
+        fail(f"{TRACE}: flow {crossing} does not end exactly once")
+    if hops[0]["ph"] != "s" or hops[-1]["ph"] != "f":
+        fail(f"{TRACE}: flow {crossing} is not s .. f ordered")
+    if any(b["ts"] < a["ts"] for a, b in zip(hops, hops[1:])):
+        fail(f"{TRACE}: flow {crossing} hops go backward in time")
+    if hops[-1].get("bp") != "e":
+        fail(f"{TRACE}: flow {crossing} terminator lacks bp=e binding")
+    ok(f"{TRACE}: flow {crossing} chains {len(hops)} hops across "
+       f"{len({h['tid'] for h in hops})} tracks")
+
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})? (?P<value>[0-9eE.+-]+|\+Inf|-Inf|NaN)$')
+
+
+def check_prometheus():
+    def read(f):
+        return f.read().splitlines()
+
+    lines = load(PROM, read)
+    types = {}
+    samples = []  # (name, labels, value)
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                fail(f"{PROM}:{i + 1}: bad TYPE header {line!r}")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            fail(f"{PROM}:{i + 1}: unparseable sample {line!r}")
+            continue
+        samples.append((m.group("name"), m.group("labels") or "",
+                        float(m.group("value").replace("+Inf", "inf"))))
+    if failures:
+        return
+
+    def family(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    for name, labels, _ in samples:
+        if family(name) not in types:
+            fail(f"{PROM}: sample {name}{labels} has no # TYPE header")
+    ok(f"{PROM}: {len(samples)} samples across {len(types)} typed families")
+
+    # The run must have produced the core families.
+    for want in ("olympian_requests_ok_total", "olympian_request_latency_ms",
+                 "olympian_gpu_utilization", "olympian_device_health",
+                 "olympian_hedge_wins_total"):
+        if family(want) not in types and want not in types:
+            fail(f"{PROM}: expected family {want} missing")
+
+    # Histogram buckets: per (family, non-le labels) cumulative, ending at
+    # +Inf with the _count value.
+    hist = {}
+    counts = {}
+    for name, labels, value in samples:
+        if name.endswith("_bucket"):
+            base = labels[1:-1] if labels else ""
+            parts = [p for p in base.split(",") if not p.startswith('le="')]
+            le = [p for p in base.split(",") if p.startswith('le="')]
+            key = (name[: -len("_bucket")], ",".join(parts))
+            bound = le[0][4:-1] if le else ""
+            hist.setdefault(key, []).append((bound, value))
+        elif name.endswith("_count"):
+            counts[(name[: -len("_count")], (labels or "{}")[1:-1])] = value
+    for (fam, lbl), buckets in hist.items():
+        values = [v for _, v in buckets]
+        if values != sorted(values):
+            fail(f"{PROM}: {fam}{{{lbl}}} buckets are not cumulative")
+        if buckets[-1][0] != "+Inf":
+            fail(f"{PROM}: {fam}{{{lbl}}} does not end at le=+Inf")
+        total = counts.get((fam, lbl))
+        if total is not None and buckets[-1][1] != total:
+            fail(f"{PROM}: {fam}{{{lbl}}} +Inf bucket {buckets[-1][1]} "
+                 f"!= _count {total}")
+    if hist:
+        ok(f"{PROM}: {len(hist)} histogram series with cumulative buckets")
+    else:
+        fail(f"{PROM}: no histogram buckets found")
+
+
+def check_timeline():
+    doc = load(TIMELINE, json.load)
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        fail(f"{TIMELINE}: expected a non-empty 'series' array")
+        return
+    for s in series:
+        for field in ("name", "labels", "points"):
+            if field not in s:
+                fail(f"{TIMELINE}: series missing {field!r}")
+                return
+    with_points = [s for s in series if s["points"]]
+    if not with_points:
+        fail(f"{TIMELINE}: every series is empty")
+        return
+    for s in with_points:
+        ts = [p[0] for p in s["points"]]
+        if ts != sorted(ts) or len(set(ts)) != len(ts):
+            fail(f"{TIMELINE}: {s['name']} timestamps not strictly increasing")
+    names = {s["name"] for s in series}
+    for want in ("olympian_gpu_utilization", "olympian_pool_occupancy"):
+        if want not in names:
+            fail(f"{TIMELINE}: expected series {want} missing")
+    ok(f"{TIMELINE}: {len(series)} series, {len(with_points)} with samples")
+
+
+def main():
+    check_trace()
+    check_prometheus()
+    check_timeline()
+    if failures:
+        print(f"\n{len(failures)} observability check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("\nAll observability artifacts check out.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,20 @@ Rules (per benchmark name present in BOTH files):
 Benchmarks present in only one file are reported but never fatal, so adding
 a benchmark does not require regenerating the baseline in the same change.
 
+Within-run gates (evaluated on the CURRENT file only, no baseline needed):
+  * --min-ratio A:B:counter:floor  — counter(A) / counter(B) must be >=
+    floor. Used to bound the observability overhead: the metrics-enabled
+    twin of a benchmark must stay within a factor of its plain sibling
+    (e.g. Observed:Plain:events/s:0.95 enforces <=5% overhead).
+  * --max-counter NAME:counter:limit — an absolute ceiling on one counter
+    of one benchmark (e.g. allocs/kernel of the observed GPU path must
+    stay ~0 with the sampler live).
+  * --min-counter NAME:counter:floor — an absolute floor. Used with the
+    paired BM_*ObservabilityOverhead benchmarks, which interleave the plain
+    and observed configuration within each iteration (so host drift
+    cancels) and export the observed/plain rate ratio as a counter.
+All three flags are repeatable; benchmark names match exactly.
+
 Exit status: 0 on pass, 1 on any regression, 2 on usage/parse errors.
 """
 
@@ -58,6 +72,78 @@ def rates(entry):
     return found
 
 
+def counter_value(benchmarks, name, counter):
+    """Numeric counter of one benchmark, or None with a diagnostic."""
+    entry = benchmarks.get(name)
+    if entry is None:
+        return None, f"benchmark {name!r} not in current run"
+    value = entry.get(counter)
+    if not isinstance(value, (int, float)):
+        return None, f"{name}: counter {counter!r} missing or non-numeric"
+    return float(value), None
+
+
+def check_min_ratios(benchmarks, specs, failures):
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            print(f"error: bad --min-ratio spec {spec!r} "
+                  f"(want A:B:counter:floor)", file=sys.stderr)
+            sys.exit(2)
+        name_a, name_b, counter, floor_s = parts
+        try:
+            floor = float(floor_s)
+        except ValueError:
+            print(f"error: bad floor in --min-ratio spec {spec!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        val_a, err_a = counter_value(benchmarks, name_a, counter)
+        val_b, err_b = counter_value(benchmarks, name_b, counter)
+        if err_a or err_b:
+            failures.append(err_a or err_b)
+            continue
+        if val_b == 0:
+            failures.append(f"{name_b}: {counter} is 0, ratio undefined")
+            continue
+        ratio = val_a / val_b
+        status = "ok" if ratio >= floor else "REGRESSION"
+        if ratio < floor:
+            failures.append(
+                f"{name_a} vs {name_b}: {counter} ratio {ratio:.3f} "
+                f"below floor {floor:.3f}")
+        print(f"{status:>10}  {name_a}/{name_b}  {counter}  "
+              f"{ratio:.3f}x (floor {floor:.3f}x)")
+
+
+def check_counter_bounds(benchmarks, specs, failures, *, lower):
+    kind = "--min-counter" if lower else "--max-counter"
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            print(f"error: bad {kind} spec {spec!r} "
+                  f"(want NAME:counter:bound)", file=sys.stderr)
+            sys.exit(2)
+        name, counter, bound_s = parts
+        try:
+            bound = float(bound_s)
+        except ValueError:
+            print(f"error: bad bound in {kind} spec {spec!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        value, err = counter_value(benchmarks, name, counter)
+        if err:
+            failures.append(err)
+            continue
+        ok = value >= bound if lower else value <= bound
+        status = "ok" if ok else "REGRESSION"
+        word = "floor" if lower else "limit"
+        if not ok:
+            failures.append(
+                f"{name}: {counter} {value:.4f} violates {word} {bound:.4f}")
+        print(f"{status:>10}  {name}  {counter}  "
+              f"{value:.4f} ({word} {bound:.4f})")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("current", help="freshly produced benchmark JSON")
@@ -69,6 +155,18 @@ def main():
                          "baseline (default 0.05)")
     ap.add_argument("--filter", default="",
                     help="only compare benchmarks whose name contains this")
+    ap.add_argument("--min-ratio", action="append", default=[],
+                    metavar="A:B:COUNTER:FLOOR",
+                    help="require counter(A)/counter(B) >= FLOOR within the "
+                         "current run (repeatable)")
+    ap.add_argument("--max-counter", action="append", default=[],
+                    metavar="NAME:COUNTER:LIMIT",
+                    help="require a counter of one current-run benchmark to "
+                         "stay <= LIMIT (repeatable)")
+    ap.add_argument("--min-counter", action="append", default=[],
+                    metavar="NAME:COUNTER:FLOOR",
+                    help="require a counter of one current-run benchmark to "
+                         "stay >= FLOOR (repeatable)")
     args = ap.parse_args()
 
     current = load_benchmarks(args.current)
@@ -116,7 +214,12 @@ def main():
             continue
         print(f"note: {name}: new benchmark, no baseline")
 
-    if compared == 0:
+    check_min_ratios(current, args.min_ratio, failures)
+    check_counter_bounds(current, args.max_counter, failures, lower=False)
+    check_counter_bounds(current, args.min_counter, failures, lower=True)
+    gates = len(args.min_ratio) + len(args.max_counter) + len(args.min_counter)
+
+    if compared == 0 and gates == 0:
         print("error: nothing compared (filter too strict?)", file=sys.stderr)
         return 2
     if failures:
@@ -124,7 +227,8 @@ def main():
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"\nAll {compared} compared benchmarks within tolerance.")
+    print(f"\nAll checks passed ({compared} baseline comparisons, "
+          f"{gates} within-run gates).")
     return 0
 
 

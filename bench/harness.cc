@@ -140,6 +140,95 @@ void SweepCase::RecordStatuses(
   Set("req_rejected", rejected);
   Set("req_failed_retried", retried);
   Set("req_failed", failed);
+
+  for (const auto& c : clients) {
+    if (c.finish_time.seconds() > slo_window_seconds) {
+      slo_window_seconds = c.finish_time.seconds();
+    }
+    for (std::size_t i = 0; i < c.request_status.size(); ++i) {
+      metrics::RequestOutcome outcome;
+      switch (c.request_status[i]) {
+        case serving::RequestStatus::kOk:
+          outcome = metrics::RequestOutcome::kSuccess;
+          break;
+        case serving::RequestStatus::kFailedRetried:
+          outcome = metrics::RequestOutcome::kRetriedSuccess;
+          break;
+        case serving::RequestStatus::kTimedOut:
+          outcome = metrics::RequestOutcome::kTimedOut;
+          break;
+        case serving::RequestStatus::kRejected:
+          outcome = metrics::RequestOutcome::kRejected;
+          break;
+        case serving::RequestStatus::kFailed:
+          outcome = metrics::RequestOutcome::kFailed;
+          break;
+        default:
+          outcome = metrics::RequestOutcome::kFailed;
+          break;
+      }
+      const double latency = i < c.request_latency_ms.size()
+                                 ? c.request_latency_ms[i]
+                                 : 0.0;
+      slo.Add(c.model, latency, outcome);
+    }
+  }
+}
+
+Json SloJson(const metrics::SloReport& r) {
+  Json latency = Json::Object();
+  latency.Set("mean_ms", Json::Num(r.mean_ms))
+      .Set("p50_ms", Json::Num(r.p50_ms))
+      .Set("p95_ms", Json::Num(r.p95_ms))
+      .Set("p99_ms", Json::Num(r.p99_ms))
+      .Set("max_ms", Json::Num(r.max_ms));
+  Json per_model = Json::Array();
+  for (const auto& m : r.per_model) {
+    per_model.Push(Json::Object()
+                       .Set("model", Json::Str(m.model))
+                       .Set("total", Json::Num(static_cast<double>(m.total)))
+                       .Set("succeeded",
+                            Json::Num(static_cast<double>(m.succeeded)))
+                       .Set("availability", Json::Num(m.availability))
+                       .Set("p50_ms", Json::Num(m.p50_ms))
+                       .Set("p95_ms", Json::Num(m.p95_ms))
+                       .Set("p99_ms", Json::Num(m.p99_ms))
+                       .Set("goodput_rps", Json::Num(m.goodput_rps)));
+  }
+  Json out = Json::Object();
+  out.Set("window_seconds", Json::Num(r.window_seconds))
+      .Set("total", Json::Num(static_cast<double>(r.total)))
+      .Set("succeeded", Json::Num(static_cast<double>(r.succeeded)))
+      .Set("retried_ok", Json::Num(static_cast<double>(r.retried_ok)))
+      .Set("timed_out", Json::Num(static_cast<double>(r.timed_out)))
+      .Set("rejected", Json::Num(static_cast<double>(r.rejected)))
+      .Set("failed", Json::Num(static_cast<double>(r.failed)))
+      .Set("availability", Json::Num(r.availability))
+      .Set("availability_target", Json::Num(r.availability_target))
+      .Set("error_budget_burn", Json::Num(r.error_budget_burn))
+      .Set("latency", std::move(latency))
+      .Set("goodput_rps", Json::Num(r.goodput_rps))
+      .Set("per_model", std::move(per_model));
+  return out;
+}
+
+Json TimelineJson(const metrics::MetricRegistry& registry) {
+  Json series = Json::Array();
+  for (const auto& [name, labels, ts] : registry.Series()) {
+    Json points = Json::Array();
+    for (const auto& [t_ns, v] : ts->points()) {
+      points.Push(Json::Array()
+                      .Push(Json::Num(static_cast<double>(t_ns)))
+                      .Push(Json::Num(v)));
+    }
+    series.Push(Json::Object()
+                    .Set("name", Json::Str(name))
+                    .Set("labels", Json::Str(labels))
+                    .Set("points", std::move(points)));
+  }
+  Json out = Json::Object();
+  out.Set("series", std::move(series));
+  return out;
 }
 
 // --- SweepRunner ------------------------------------------------------------
@@ -205,19 +294,35 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
   }
 
   Json cases_json = Json::Array();
+  metrics::SloAccumulator merged_slo;
+  double merged_window = 0.0;
   for (const auto& r : results_) {
     Json metrics = Json::Object();
     for (const auto& [key, value] : r.metrics) {
       metrics.Set(key, Json::Num(value));
     }
-    cases_json.Push(
-        Json::Object().Set("name", Json::Str(r.name)).Set("metrics",
-                                                          std::move(metrics)));
+    Json case_json = Json::Object();
+    case_json.Set("name", Json::Str(r.name)).Set("metrics", std::move(metrics));
+    if (!r.slo.empty()) {
+      case_json.Set("slo", SloJson(r.slo.Report(r.slo_window_seconds)));
+      merged_slo.Merge(r.slo);
+      if (r.slo_window_seconds > merged_window) {
+        merged_window = r.slo_window_seconds;
+      }
+    }
+    if (r.timeline != nullptr) {
+      case_json.Set("timeline", *r.timeline);
+    }
+    cases_json.Push(std::move(case_json));
   }
   Json root = Json::Object();
   root.Set("bench", Json::Str(name_))
       .Set("threads", Json::Num(threads))
       .Set("wall_seconds", Json::Num(wall_seconds_))
+      // Artifact-level SLO report: every BENCH_*.json carries one, pooled
+      // over all cases that recorded request outcomes (empty-traffic report
+      // when none did).
+      .Set("slo", SloJson(merged_slo.Report(merged_window)))
       .Set("cases", std::move(cases_json));
   const std::string path = "BENCH_" + name_ + ".json";
   if (!WriteJsonFile(path, root)) {

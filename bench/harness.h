@@ -14,6 +14,9 @@
 
 #include "core/profiler.h"
 #include "core/scheduler.h"
+#include "json.h"
+#include "metrics/registry.h"
+#include "metrics/slo.h"
 #include "metrics/stats.h"
 #include "metrics/table.h"
 #include "serving/server.h"
@@ -91,14 +94,31 @@ std::string FmtSeconds(sim::Duration d);
 struct SweepCase {
   std::string name;
   std::vector<std::pair<std::string, double>> metrics;
+  // SLO observations collected by RecordStatuses; folded into this case's
+  // "slo" block and merged into the artifact-level report by RunAll().
+  metrics::SloAccumulator slo;
+  double slo_window_seconds = 0.0;
+  // Optional sampler timeline (see TimelineJson); embedded into the case's
+  // JSON when set. shared_ptr keeps SweepCase copyable for the runner.
+  std::shared_ptr<Json> timeline;
   void Set(std::string key, double v) {
     metrics.emplace_back(std::move(key), v);
   }
   // Per-status request summary (kOk/kTimedOut/kRejected/kFailedRetried/
   // kFailed counts across all clients) — call from every case that ran a
   // serving workload so each BENCH_*.json carries the request outcomes.
+  // Also feeds every request (model, latency, outcome) into `slo` and
+  // widens `slo_window_seconds` to the latest client finish time.
   void RecordStatuses(const std::vector<serving::ClientResult>& clients);
 };
+
+// JSON block for an SLO report; attached per case and at artifact top level
+// by SweepRunner::RunAll, and reusable by custom emitters.
+Json SloJson(const metrics::SloReport& report);
+
+// JSON block for a registry's sampled time series (the compact timeline the
+// virtual-clock sampler produces): {"series":[{name, labels, points}...]}.
+Json TimelineJson(const metrics::MetricRegistry& registry);
 
 // Fans independent (config, seed) runs across OS threads.
 //

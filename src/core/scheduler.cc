@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "metrics/registry.h"
+
 namespace olympian::core {
 
 Scheduler::Scheduler(sim::Environment& env, gpusim::Gpu& gpu,
@@ -123,6 +125,36 @@ void Scheduler::OnDeviceUp() {
   ++attaches_;
   // Nothing to rebuild eagerly: re-admitted runs re-register through
   // RegisterRun, and the first registration grants the token as usual.
+}
+
+void Scheduler::OnSample(metrics::MetricRegistry& registry, sim::TimePoint now,
+                         std::size_t device) {
+  // Strictly read-only: the golden determinism suite runs with the sampler
+  // enabled and expects bit-identical trajectories. Series carry a gpu
+  // label — two per-device schedulers sampled at the same instant into one
+  // registry must not interleave into a single series.
+  if (sample_.registry != &registry || sample_.device != device ||
+      sample_.token == nullptr) {
+    const metrics::Labels labels{{"gpu", std::to_string(device)}};
+    sample_.registry = &registry;
+    sample_.device = device;
+    sample_.token = &registry.GetSeries("olympian_scheduler_token", labels);
+    sample_.active_jobs =
+        &registry.GetSeries("olympian_scheduler_active_jobs", labels);
+    sample_.token_held =
+        &registry.GetSeries("olympian_scheduler_token_held", labels);
+    sample_.switches =
+        &registry.GetCounter("olympian_scheduler_switches_total", labels);
+    sample_.quanta =
+        &registry.GetCounter("olympian_scheduler_quanta_total", labels);
+  }
+  sample_.token->Sample(now, token_ == gpusim::kNoJob
+                                 ? -1.0
+                                 : static_cast<double>(token_));
+  sample_.active_jobs->Sample(now, static_cast<double>(jobs_.size()));
+  sample_.token_held->Sample(now, token_ == gpusim::kNoJob ? 0.0 : 1.0);
+  sample_.switches->Set(switches_);
+  sample_.quanta->Set(quanta_completed_);
 }
 
 void Scheduler::OnNodeComputed(graph::JobContext& ctx,

@@ -10,6 +10,7 @@
 #include "gpusim/gpu.h"
 #include "graph/cost_model.h"
 #include "graph/hooks.h"
+#include "metrics/registry.h"
 #include "metrics/trace.h"
 #include "sim/environment.h"
 #include "sim/random.h"
@@ -101,6 +102,13 @@ class Scheduler : public graph::SchedulingHooks {
   // itself as re-admitted runs arrive.
   void OnDeviceDown() override;
   void OnDeviceUp() override;
+  // Observability tick: publishes token occupancy (holder, active jobs) and
+  // cumulative switch/quantum counters into `registry`, labeled with the
+  // sampled device so per-GPU schedulers feeding one registry stay
+  // distinct. Handles are cached per (registry, device), so steady-state
+  // ticks do no map lookups. Read-only.
+  void OnSample(metrics::MetricRegistry& registry, sim::TimePoint now,
+                std::size_t device) override;
 
   // --- introspection -----------------------------------------------------
   gpusim::JobId token() const { return token_; }
@@ -130,6 +138,20 @@ class Scheduler : public graph::SchedulingHooks {
   sim::Rng rng_{1};
 
   sim::CondVar& JobCv(gpusim::JobId job);
+
+  // Labeled metric handles resolved on the first OnSample tick (and again
+  // only if the registry or device changes), so the sampler's steady state
+  // never touches the registry's map.
+  struct SampleHandles {
+    metrics::MetricRegistry* registry = nullptr;
+    std::size_t device = 0;
+    metrics::MetricRegistry::TimeSeries* token = nullptr;
+    metrics::MetricRegistry::TimeSeries* active_jobs = nullptr;
+    metrics::MetricRegistry::TimeSeries* token_held = nullptr;
+    metrics::MetricRegistry::Counter* switches = nullptr;
+    metrics::MetricRegistry::Counter* quanta = nullptr;
+  };
+  SampleHandles sample_;
 
   std::unordered_map<std::string, ProfileInfo> profiles_;
   std::vector<JobEntry> jobs_;  // registration order

@@ -55,10 +55,12 @@ Gpu::Kernel* Gpu::AllocKernel() {
   Kernel* k = kernel_free_;
   kernel_free_ = k->next;
   k->next = nullptr;
+  ++pending_kernels_;
   return k;
 }
 
 void Gpu::FreeKernel(Kernel* k) {
+  --pending_kernels_;
   k->waiter = nullptr;
   k->failed_out = nullptr;
   k->next = kernel_free_;

@@ -265,6 +265,9 @@ class Gpu {
   std::uint64_t waves_dispatched() const { return waves_dispatched_; }
   // Wave-completion timer events elided by train coalescing so far.
   std::uint64_t waves_coalesced() const { return waves_coalesced_; }
+  // Kernels submitted but not yet retired (queued + resident across all
+  // streams) — the device-wide queue depth the sampler snapshots.
+  std::int64_t pending_kernels() const { return pending_kernels_; }
   std::int64_t free_slots() const { return free_slots_; }
   bool idle() const { return busy_.depth() == 0; }
 
@@ -405,6 +408,7 @@ class Gpu {
   std::uint64_t resets_ = 0;
   std::uint64_t waves_dispatched_ = 0;
   std::uint64_t waves_coalesced_ = 0;
+  std::int64_t pending_kernels_ = 0;  // alloc'd kernel records in flight
   bool dispatching_ = false;
 
   // Fault-injection state.

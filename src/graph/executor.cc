@@ -74,6 +74,7 @@ sim::Task Executor::RunOnce(JobContext& ctx, const Graph& graph,
 sim::Task Executor::RunOnceImpl(JobContext& ctx, const Graph& graph,
                                 CostProfile* profile) {
   RunState& st = *AcquireRunState(graph, profile);
+  const sim::TimePoint attempt_start = env_.Now();
   // Algorithm 2, lines 4-5: register and reset the gang-shared cost.
   ctx.cumulated_cost = 0.0;
   if (hooks_ != nullptr) hooks_->RegisterRun(ctx);
@@ -83,6 +84,15 @@ sim::Task Executor::RunOnceImpl(JobContext& ctx, const Graph& graph,
   // graph has been evaluated.
   while (st.remaining > 0) co_await st.all_done.Wait();
   if (hooks_ != nullptr) hooks_->DeregisterRun(ctx);
+  if (options_.tracer != nullptr && ctx.trace.request != 0) {
+    // One span per admission of a traced request; the serving layer's flow
+    // events bind to these at their start timestamps, chaining retries,
+    // hedges, and failover re-admissions across device tracks.
+    options_.tracer->AddSpanNumbered(
+        "attempt", ctx.trace.hedge ? "hedge-req-" : "req-",
+        static_cast<std::int64_t>(ctx.trace.request), ctx.job, attempt_start,
+        env_.Now());
+  }
   ++runs_completed_;
   // Only now is the state guaranteed unreferenced by pool threads.
   ReleaseRunState(&st);
@@ -186,12 +196,15 @@ sim::Task Executor::Compute(JobContext& ctx, RunState& st, const Node& node) {
     st.profile->RecordNodeCost(
         node.id, static_cast<double>((env_.Now() - t0).nanos()));
   }
-  if (options_.tracer != nullptr && !options_.tracer->full()) {
-    // Node names repeat across runs of the same graph: interning hits the
-    // dedup table after the first run and copies nothing.
-    options_.tracer->AddSpan(node.is_gpu() ? "gpu-node" : "cpu-node",
-                             options_.tracer->Intern(node.name), ctx.job, t0,
-                             env_.Now());
+  if (options_.tracer != nullptr) {
+    // Numbered ("node-<id>") rather than the graph's string name: this runs
+    // once per node execution, and interning every name would hash and
+    // allocate ~graph-size strings per fresh tracer — measurable against
+    // the whole simulation. The id resolves to the name via the graph.
+    // Called even when full so truncation accounting sees every rejection.
+    options_.tracer->AddSpanNumbered(node.is_gpu() ? "gpu-node" : "cpu-node",
+                                     "node-", node.id, ctx.job, t0,
+                                     env_.Now());
   }
 }
 

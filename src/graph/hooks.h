@@ -6,7 +6,12 @@
 
 #include "gpusim/kernel.h"
 #include "graph/graph.h"
+#include "metrics/trace_context.h"
 #include "sim/task.h"
+
+namespace olympian::metrics {
+class MetricRegistry;
+}  // namespace olympian::metrics
 
 namespace olympian::graph {
 
@@ -67,6 +72,13 @@ struct JobContext {
   // not cancellable. Owned by the issuer; valid only while the run is in
   // flight (reset between runs).
   CancelToken* cancel = nullptr;
+  // Device this context executes on; lets trace consumers map a job track
+  // back to a GPU. The serving layer keeps it in sync across failover.
+  int gpu_index = 0;
+  // Causal identity of the in-flight request (0 = untraced). Set by the
+  // serving layer before each run; the executor stamps it onto attempt
+  // spans so Chrome-trace flow events can bind across device tracks.
+  metrics::TraceContext trace;
 };
 
 // The Olympian patch point inside the TF session loop.
@@ -110,6 +122,21 @@ class SchedulingHooks {
   // traffic resumes through the normal RegisterRun path. Defaults no-op.
   virtual void OnDeviceDown() {}
   virtual void OnDeviceUp() {}
+
+  // Observability sampler tick: publish whatever internal occupancy state
+  // the implementation has (token holder, quantum counts) into `registry`.
+  // `device` is the index of the GPU this hook instance manages; one hook
+  // instance may be shared across devices only if it ignores it, so
+  // implementations must label their series with it to keep per-device
+  // samples from colliding. Must be strictly read-only with respect to
+  // scheduling state — the golden determinism suite runs with the sampler
+  // on and expects bit-identical trajectories. Default no-op.
+  virtual void OnSample(metrics::MetricRegistry& registry, sim::TimePoint now,
+                        std::size_t device) {
+    (void)registry;
+    (void)now;
+    (void)device;
+  }
 };
 
 }  // namespace olympian::graph

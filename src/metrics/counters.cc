@@ -1,42 +1,60 @@
 #include "metrics/counters.h"
 
 #include <ostream>
+#include <string>
+
+#include "metrics/registry.h"
 
 namespace olympian::metrics {
 
-namespace {
-void Row(std::ostream& os, const char* name, std::uint64_t v) {
-  if (v != 0) os << "  " << name << " " << v << "\n";
+std::span<const ServingCounters::Field> ServingCounters::Fields() {
+  static constexpr Field kFields[] = {
+      {"kernel_failures_injected", &ServingCounters::kernel_failures_injected},
+      {"device_hangs", &ServingCounters::device_hangs},
+      {"device_resets", &ServingCounters::device_resets},
+      {"alloc_fault_windows", &ServingCounters::alloc_fault_windows},
+      {"requests_ok", &ServingCounters::requests_ok},
+      {"requests_retried_ok", &ServingCounters::requests_retried_ok},
+      {"requests_timed_out", &ServingCounters::requests_timed_out},
+      {"requests_rejected", &ServingCounters::requests_rejected},
+      {"requests_failed", &ServingCounters::requests_failed},
+      {"retries", &ServingCounters::retries},
+      {"requests_shed", &ServingCounters::requests_shed},
+      {"breaker_rejections", &ServingCounters::breaker_rejections},
+      {"breaker_opens", &ServingCounters::breaker_opens},
+      {"transient_alloc_failures", &ServingCounters::transient_alloc_failures},
+      {"kernel_failures_observed", &ServingCounters::kernel_failures_observed},
+      {"deadline_cancellations", &ServingCounters::deadline_cancellations},
+      {"health_transitions", &ServingCounters::health_transitions},
+      {"device_down_events", &ServingCounters::device_down_events},
+      {"device_readmissions", &ServingCounters::device_readmissions},
+      {"probe_failures", &ServingCounters::probe_failures},
+      {"failover_cancellations", &ServingCounters::failover_cancellations},
+      {"requests_failed_over", &ServingCounters::requests_failed_over},
+      {"requests_rejected_no_device",
+       &ServingCounters::requests_rejected_no_device},
+      {"replica_instantiations", &ServingCounters::replica_instantiations},
+      {"hedges_launched", &ServingCounters::hedges_launched},
+      {"hedge_wins", &ServingCounters::hedge_wins},
+  };
+  return kFields;
 }
-}  // namespace
 
 void ServingCounters::Print(std::ostream& os) const {
-  Row(os, "kernel_failures_injected", kernel_failures_injected);
-  Row(os, "device_hangs", device_hangs);
-  Row(os, "device_resets", device_resets);
-  Row(os, "alloc_fault_windows", alloc_fault_windows);
-  Row(os, "requests_ok", requests_ok);
-  Row(os, "requests_retried_ok", requests_retried_ok);
-  Row(os, "requests_timed_out", requests_timed_out);
-  Row(os, "requests_rejected", requests_rejected);
-  Row(os, "requests_failed", requests_failed);
-  Row(os, "retries", retries);
-  Row(os, "requests_shed", requests_shed);
-  Row(os, "breaker_rejections", breaker_rejections);
-  Row(os, "breaker_opens", breaker_opens);
-  Row(os, "transient_alloc_failures", transient_alloc_failures);
-  Row(os, "kernel_failures_observed", kernel_failures_observed);
-  Row(os, "deadline_cancellations", deadline_cancellations);
-  Row(os, "health_transitions", health_transitions);
-  Row(os, "device_down_events", device_down_events);
-  Row(os, "device_readmissions", device_readmissions);
-  Row(os, "probe_failures", probe_failures);
-  Row(os, "failover_cancellations", failover_cancellations);
-  Row(os, "requests_failed_over", requests_failed_over);
-  Row(os, "requests_rejected_no_device", requests_rejected_no_device);
-  Row(os, "replica_instantiations", replica_instantiations);
-  Row(os, "hedges_launched", hedges_launched);
-  Row(os, "hedge_wins", hedge_wins);
+  for (const Field& f : Fields()) {
+    const std::uint64_t v = this->*f.member;
+    if (v != 0) os << "  " << f.name << " " << v << "\n";
+  }
+}
+
+void ServingCounters::ExportTo(MetricRegistry& registry) const {
+  std::string name;
+  for (const Field& f : Fields()) {
+    name.assign("olympian_");
+    name.append(f.name);
+    name.append("_total");
+    registry.GetCounter(name).Set(this->*f.member);
+  }
 }
 
 }  // namespace olympian::metrics

@@ -2,8 +2,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 
 namespace olympian::metrics {
+
+class MetricRegistry;
 
 // Monotonic event counters for the serving stack's failure model: injected
 // faults, request-level degradation outcomes, and the load-shedding /
@@ -53,8 +56,23 @@ struct ServingCounters {
            requests_rejected + requests_failed;
   }
 
-  // One "name value" row per non-zero counter.
+  // One entry per counter field, in declaration order. Print, the registry
+  // bridge, and tests all iterate this single table, so every view of the
+  // counters agrees on membership and order by construction.
+  struct Field {
+    const char* name;
+    std::uint64_t ServingCounters::* member;
+  };
+  static std::span<const Field> Fields();
+
+  // One "name value" row per non-zero counter, in Fields() order.
   void Print(std::ostream& os) const;
+
+  // Mirrors every field into `registry` as a counter named
+  // "olympian_<field>_total" via Counter::Set — idempotent, so repeated
+  // bridging (Experiment::Run calls this at finish; callers may re-export
+  // at any time) never double-counts.
+  void ExportTo(MetricRegistry& registry) const;
 };
 
 }  // namespace olympian::metrics

@@ -4,35 +4,6 @@
 
 namespace olympian::metrics {
 
-void Tracer::AddSpan(const char* category, const char* name,
-                     std::int64_t track, sim::TimePoint start,
-                     sim::TimePoint end) {
-  if (full()) return;
-  events_.push_back(Event{category, name, kNoNumber, track, start.nanos(),
-                          (end - start).nanos()});
-}
-
-void Tracer::AddInstant(const char* category, const char* name,
-                        std::int64_t track, sim::TimePoint t) {
-  if (full()) return;
-  events_.push_back(Event{category, name, kNoNumber, track, t.nanos(), -1});
-}
-
-void Tracer::AddSpanNumbered(const char* category, const char* name,
-                             std::int64_t number, std::int64_t track,
-                             sim::TimePoint start, sim::TimePoint end) {
-  if (full()) return;
-  events_.push_back(
-      Event{category, name, number, track, start.nanos(), (end - start).nanos()});
-}
-
-void Tracer::AddInstantNumbered(const char* category, const char* name,
-                                std::int64_t number, std::int64_t track,
-                                sim::TimePoint t) {
-  if (full()) return;
-  events_.push_back(Event{category, name, number, track, t.nanos(), -1});
-}
-
 const char* Tracer::Intern(std::string_view s) {
   const auto it = interned_.find(s);
   if (it != interned_.end()) return it->c_str();
@@ -41,10 +12,43 @@ const char* Tracer::Intern(std::string_view s) {
 
 namespace {
 
+// JSON string-escapes `s`: quote, backslash, and all control characters
+// (U+0000..U+001F), which RFC 8259 forbids raw inside strings. Interned
+// names can carry arbitrary bytes (model names, fault descriptions), so the
+// export must not rely on callers sanitizing.
 void EscapeInto(std::ostream& os, const char* s) {
+  static const char* kHex = "0123456789abcdef";
   for (; *s != '\0'; ++s) {
-    if (*s == '"' || *s == '\\') os << '\\';
-    os << *s;
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          os << "\\u00" << kHex[c >> 4] << kHex[c & 0xf];
+        } else {
+          os << *s;
+        }
+    }
   }
 }
 
@@ -53,22 +57,44 @@ void EscapeInto(std::ostream& os, const char* s) {
 void Tracer::WriteChromeTrace(std::ostream& os) const {
   os << "[\n";
   bool first = true;
+  std::int64_t last_ns = 0;
   for (const Event& e : events_) {
     if (!first) os << ",\n";
     first = false;
+    if (e.start_ns > last_ns) last_ns = e.start_ns;
     // Chrome expects microsecond timestamps; keep sub-us precision as
     // fractional microseconds.
     const double ts_us = static_cast<double>(e.start_ns) / 1e3;
-    os << R"({"cat":")" << e.category << R"(","name":")";
+    os << R"({"cat":")";
+    EscapeInto(os, e.category);
+    os << R"(","name":")";
     EscapeInto(os, e.name);
     if (e.number != kNoNumber) os << e.number;
     os << R"(","pid":1,"tid":)" << e.track << R"(,"ts":)" << ts_us;
-    if (e.dur_ns < 0) {
-      os << R"(,"ph":"i","s":"t"})";
-    } else {
-      os << R"(,"ph":"X","dur":)" << static_cast<double>(e.dur_ns) / 1e3
-         << "}";
+    switch (e.ph) {
+      case 'i':
+        os << R"(,"ph":"i","s":"t"})";
+        break;
+      case 's':
+      case 't':
+      case 'f':
+        // Flow phases carry the flow id; "bp":"e" makes the terminating
+        // arrow bind to the enclosing slice rather than the next one.
+        os << R"(,"ph":")" << e.ph << R"(","id":")" << e.flow << '"';
+        if (e.ph == 'f') os << R"(,"bp":"e")";
+        os << "}";
+        break;
+      default:
+        os << R"(,"ph":"X","dur":)" << static_cast<double>(e.dur_ns) / 1e3
+           << "}";
     }
+  }
+  if (dropped_ > 0) {
+    if (!first) os << ",\n";
+    os << R"({"cat":"__metadata","name":"trace_truncated","pid":1,"tid":0,)"
+       << R"("ts":)" << static_cast<double>(last_ns) / 1e3
+       << R"(,"ph":"i","s":"g","args":{"dropped":)" << dropped_
+       << R"(,"max_events":)" << max_events_ << "}}";
   }
   os << "\n]\n";
 }

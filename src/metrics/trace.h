@@ -19,6 +19,11 @@ namespace olympian::metrics {
 // so a run's token tenures, node executions, and kernel waits are visible
 // on one timeline.
 //
+// Flow events (`AddFlow`) draw arrows between slices on different tracks.
+// The serving layer uses one flow per request (flow id = request id) to
+// stitch a request's retries, hedges, and failover re-admissions into a
+// single causal chain across device tracks.
+//
 // Hot path: recording is allocation-free. Events are PODs holding
 // `const char*` names (string literals, or strings interned once via
 // Intern()) and are appended into storage preallocated for `max_events`
@@ -26,9 +31,10 @@ namespace olympian::metrics {
 // "job-17") use the *Numbered variants, which store the integer and render
 // it only at export time instead of composing a std::string per event.
 //
-// Recording stops silently once `max_events` is reached (a full serving run
-// executes millions of nodes; traces are for inspecting windows, not whole
-// runs).
+// Recording stops once `max_events` is reached (a full serving run executes
+// millions of nodes; traces are for inspecting windows, not whole runs).
+// Truncation is not silent: dropped events are counted, exposed via
+// dropped(), and stamped into the Chrome export as a metadata record.
 class Tracer {
  public:
   explicit Tracer(std::size_t max_events = 200000) : max_events_(max_events) {
@@ -46,8 +52,15 @@ class Tracer {
   // Sentinel: event has no numeric name suffix.
   static constexpr std::int64_t kNoNumber = INT64_MIN;
 
+  // Flow-event phase: a flow starts on one slice (kBegin), optionally
+  // passes through others (kStep), and terminates (kEnd). Chrome phases
+  // "s"/"t"/"f".
+  enum class FlowPhase : char { kBegin = 's', kStep = 't', kEnd = 'f' };
+
   // `name` must outlive the tracer: a string literal, a stable component
-  // name, or the result of Intern().
+  // name, or the result of Intern(). The Add* recorders are defined inline
+  // (below the class) — on per-node paths the call is a bounds check plus a
+  // POD store, cheap enough to leave tracing compiled in everywhere.
   void AddSpan(const char* category, const char* name, std::int64_t track,
                sim::TimePoint start, sim::TimePoint end);
   void AddInstant(const char* category, const char* name, std::int64_t track,
@@ -63,6 +76,14 @@ class Tracer {
                           std::int64_t number, std::int64_t track,
                           sim::TimePoint t);
 
+  // Records one hop of flow `flow_id` at time `t` on `track`. The exported
+  // name is `name` followed by `flow_id` in decimal. To bind to a slice in
+  // Perfetto the timestamp must fall inside a slice on the same track; the
+  // serving layer emits hops at attempt start, which coincides with the
+  // attempt span's start.
+  void AddFlow(FlowPhase phase, const char* category, const char* name,
+               std::uint64_t flow_id, std::int64_t track, sim::TimePoint t);
+
   // Returns a pointer, stable for the tracer's lifetime, to a deduplicated
   // copy of `s`. For cold paths that compose names dynamically (health
   // transitions, fault descriptions); repeated strings are stored once.
@@ -70,6 +91,8 @@ class Tracer {
 
   std::size_t size() const { return events_.size(); }
   bool full() const { return events_.size() >= max_events_; }
+  // Number of events rejected because the tracer was full.
+  std::uint64_t dropped() const { return dropped_; }
 
   struct Event {
     const char* category;
@@ -77,13 +100,17 @@ class Tracer {
     std::int64_t number;  // kNoNumber => name stands alone
     std::int64_t track;
     std::int64_t start_ns;
-    std::int64_t dur_ns;  // -1 => instant
+    std::int64_t dur_ns;     // -1 => instant or flow hop
+    std::uint64_t flow = 0;  // flow id; meaningful only when ph is s/t/f
+    char ph = 'X';           // 'X' span, 'i' instant, 's'/'t'/'f' flow
   };
 
   // Raw events, for programmatic analysis (tests, custom reports).
   const std::vector<Event>& events() const { return events_; }
 
-  // Chrome trace-event "JSON array" format.
+  // Chrome trace-event "JSON array" format. When events were dropped, the
+  // array ends with a `trace_truncated` metadata instant carrying the drop
+  // count so consumers can tell a short trace from a clipped one.
   void WriteChromeTrace(std::ostream& os) const;
 
  private:
@@ -95,8 +122,64 @@ class Tracer {
   };
 
   std::size_t max_events_;
+  std::uint64_t dropped_ = 0;
   std::vector<Event> events_;
   std::unordered_set<std::string, StringHash, std::equal_to<>> interned_;
 };
+
+inline void Tracer::AddSpan(const char* category, const char* name,
+                            std::int64_t track, sim::TimePoint start,
+                            sim::TimePoint end) {
+  if (full()) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{category, name, kNoNumber, track, start.nanos(),
+                          (end - start).nanos()});
+}
+
+inline void Tracer::AddInstant(const char* category, const char* name,
+                               std::int64_t track, sim::TimePoint t) {
+  if (full()) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(
+      Event{category, name, kNoNumber, track, t.nanos(), -1, 0, 'i'});
+}
+
+inline void Tracer::AddSpanNumbered(const char* category, const char* name,
+                                    std::int64_t number, std::int64_t track,
+                                    sim::TimePoint start, sim::TimePoint end) {
+  if (full()) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{category, name, number, track, start.nanos(),
+                          (end - start).nanos()});
+}
+
+inline void Tracer::AddInstantNumbered(const char* category, const char* name,
+                                       std::int64_t number, std::int64_t track,
+                                       sim::TimePoint t) {
+  if (full()) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(
+      Event{category, name, number, track, t.nanos(), -1, 0, 'i'});
+}
+
+inline void Tracer::AddFlow(FlowPhase phase, const char* category,
+                            const char* name, std::uint64_t flow_id,
+                            std::int64_t track, sim::TimePoint t) {
+  if (full()) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{category, name, static_cast<std::int64_t>(flow_id),
+                          track, t.nanos(), -1, flow_id,
+                          static_cast<char>(phase)});
+}
 
 }  // namespace olympian::metrics

@@ -76,6 +76,7 @@ graph::JobContext& Experiment::CreateJob(const std::string& model,
   ctx->client_name = model + "#" + std::to_string(ctx->job);
   ctx->model_key = models::ModelKey(model, max_batch);
   ctx->batch = max_batch;
+  ctx->gpu_index = static_cast<int>(gpu_index);
   for (int s = 0; s < options_.streams_per_job; ++s) {
     ctx->streams.push_back(gpus_.at(gpu_index)->CreateStream());
   }
@@ -97,6 +98,14 @@ sim::Task Experiment::ClientProc(std::size_t client_index,
                                  ClientResult& out) {
   sim::Rng rng(seed);
   const bool open_loop = spec.mean_interarrival > sim::Duration::Zero();
+  // Handle resolved once per client; Observe on the request path is then
+  // allocation-free.
+  metrics::MetricRegistry* const registry = options_.observability.registry;
+  metrics::MetricRegistry::Histogram* const latency_hist =
+      registry == nullptr
+          ? nullptr
+          : &registry->GetHistogram("olympian_request_latency_ms",
+                                    {{"model", spec.model}});
   sim::TimePoint arrival;  // request b's arrival instant (t=0 for b=0)
   for (int b = 0; b < spec.num_batches; ++b) {
     if (open_loop) {
@@ -116,6 +125,9 @@ sim::Task Experiment::ClientProc(std::size_t client_index,
                         out.gpu_index, status);
     out.request_latency_ms.push_back((env_.Now() - arrival).millis());
     out.request_status.push_back(status);
+    if (latency_hist != nullptr) {
+      latency_hist->Observe(out.request_latency_ms.back());
+    }
     if (status == RequestStatus::kOk ||
         status == RequestStatus::kFailedRetried) {
       ++out.batches_completed;
@@ -139,6 +151,7 @@ sim::Task Experiment::ClientProc(std::size_t client_index,
     out.gpu_duration = gpus_[out.gpu_index]->JobGpuDuration(ctx.job);
     gpus_[out.gpu_index]->RetireJob(ctx.job);
   }
+  if (clients_running_ > 0) --clients_running_;  // sampler stop condition
 }
 
 CircuitBreaker* Experiment::BreakerFor(const std::string& model) {
@@ -162,10 +175,26 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
   CircuitBreaker* breaker = BreakerFor(spec.model);
   const bool failover = health_ != nullptr;
 
+  // Causal tracing: one flow id (= request id) chains every admission of
+  // this request — retries, failover re-admissions, hedges — across device
+  // tracks. The id is assigned unconditionally so traced and untraced runs
+  // walk identical state.
+  metrics::Tracer* const tracer = options_.executor.tracer;
+  const std::uint64_t rid = ++next_request_id_;
+  int flow_hops = 0;                              // executed admissions so far
+  std::int64_t flow_track = primary_ctx.job;      // track of the winning leg
+  const auto end_flow = [&] {
+    if (tracer != nullptr && flow_hops > 0) {
+      tracer->AddFlow(metrics::Tracer::FlowPhase::kEnd, "request", "req-", rid,
+                      flow_track, env_.Now());
+    }
+  };
+
   for (int attempt = 1;;) {
     if (has_deadline && env_.Now() >= deadline) {
       status = RequestStatus::kTimedOut;
       ++counters_.requests_timed_out;
+      end_flow();
       co_return;
     }
     // Admission control: shed instead of stalling when the pool is already
@@ -178,6 +207,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         ++counters_.requests_shed;
         ++counters_.requests_rejected;
         status = RequestStatus::kRejected;
+        end_flow();
         co_await env_.Delay(deg.reject_backoff);
         co_return;
       }
@@ -186,6 +216,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       ++counters_.breaker_rejections;
       ++counters_.requests_rejected;
       status = RequestStatus::kRejected;
+      end_flow();
       co_await env_.Delay(deg.reject_backoff);
       co_return;
     }
@@ -202,6 +233,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         ++counters_.requests_rejected_no_device;
         ++counters_.requests_rejected;
         status = RequestStatus::kRejected;
+        end_flow();
         co_await env_.Delay(deg.reject_backoff);
         co_return;
       }
@@ -216,6 +248,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         if (attempt > deg.retry.max_retries) {
           status = RequestStatus::kFailed;
           ++counters_.requests_failed;
+          end_flow();
           co_return;
         }
         ++counters_.retries;
@@ -250,11 +283,28 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
             placer_->Route(spec.model, primary_gpu, gpu_index);
         if (alt != Placer::kNoDevice && alt != gpu_index) {
           hedge = std::make_shared<HedgeState>(env_);
+          hedge->request_id = rid;
+          hedge->attempt = attempt;
           ++counters_.hedges_launched;
           env_.Spawn(HedgeProc(client_index, spec, g, alt, hedge),
                      ctx->client_name + "/hedge");
         }
       }
+      // Stamp the causal identity for this admission; the executor renders
+      // it as an attempt span, and the flow hop below (same instant as the
+      // span start) binds to it in Perfetto.
+      ctx->trace = metrics::TraceContext{rid, attempt, false};
+      ctx->gpu_index = static_cast<int>(gpu_index);
+      if (tracer != nullptr) {
+        tracer->AddInstantNumbered("placer", "route-gpu-",
+                                   static_cast<std::int64_t>(gpu_index),
+                                   ctx->job, env_.Now());
+        tracer->AddFlow(flow_hops == 0 ? metrics::Tracer::FlowPhase::kBegin
+                                       : metrics::Tracer::FlowPhase::kStep,
+                        "request", "req-", rid, ctx->job, env_.Now());
+      }
+      ++flow_hops;
+      flow_track = ctx->job;
       auto token = std::make_shared<graph::CancelToken>();
       ctx->cancel = token.get();
       if (has_deadline) {
@@ -296,6 +346,9 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
             ++counters_.hedge_wins;
             failed = false;
             reason = graph::CancelReason::kNone;
+            // The hedge's leg is the one that produced the response; the
+            // flow terminates on its track.
+            if (hedge->ctx != nullptr) flow_track = hedge->ctx->job;
           }
         }
       }
@@ -310,6 +363,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         status = RequestStatus::kFailedRetried;
         ++counters_.requests_retried_ok;
       }
+      end_flow();
       co_return;
     }
     if (reason == graph::CancelReason::kDeadline) {
@@ -317,6 +371,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       status = RequestStatus::kTimedOut;
       ++counters_.requests_timed_out;
       ++counters_.deadline_cancellations;
+      end_flow();
       co_return;
     }
     if (failover && (reason == graph::CancelReason::kFailover ||
@@ -337,6 +392,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
     if (attempt > deg.retry.max_retries) {
       status = RequestStatus::kFailed;
       ++counters_.requests_failed;
+      end_flow();
       co_return;
     }
     ++counters_.retries;
@@ -348,6 +404,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       // The backoff alone would blow the deadline; give up now.
       status = RequestStatus::kTimedOut;
       ++counters_.requests_timed_out;
+      end_flow();
       co_return;
     }
     ++attempt;
@@ -456,6 +513,7 @@ sim::Task Experiment::EnsureReplica(std::size_t client_index,
     ctx->weight = spec.weight;
     ctx->priority = spec.priority;
     ctx->min_share = spec.min_share;
+    ctx->gpu_index = static_cast<int>(gpu);
     for (int s = 0; s < options_.streams_per_job; ++s) {
       ctx->streams.push_back(gpus_[gpu]->CreateStream());
     }
@@ -495,6 +553,15 @@ sim::Task Experiment::HedgeProc(std::size_t client_index,
       st->primary_done || !health_->Usable(gpu)) {
     skip();
     co_return;
+  }
+  // The hedge is one more admission of the same request: same flow id,
+  // `hedge` flagged so the attempt span is labeled as the speculative leg.
+  ctx->trace = metrics::TraceContext{st->request_id, st->attempt, true};
+  ctx->gpu_index = static_cast<int>(gpu);
+  if (metrics::Tracer* const tracer = options_.executor.tracer;
+      tracer != nullptr && st->request_id != 0) {
+    tracer->AddFlow(metrics::Tracer::FlowPhase::kStep, "request", "req-",
+                    st->request_id, ctx->job, env_.Now());
   }
   auto token = std::make_shared<graph::CancelToken>();
   ctx->cancel = token.get();
@@ -589,6 +656,7 @@ std::vector<ClientResult> Experiment::Run(
     ctx->weight = spec.weight;
     ctx->priority = spec.priority;
     ctx->min_share = spec.min_share;
+    ctx->gpu_index = static_cast<int>(gpu_index);
     for (int s = 0; s < options_.streams_per_job; ++s) {
       ctx->streams.push_back(gpus_[gpu_index]->CreateStream());
     }
@@ -616,6 +684,13 @@ std::vector<ClientResult> Experiment::Run(
     contexts_.push_back(std::move(ctx));
   }
 
+  clients_running_ = clients.size();
+  if (options_.observability.registry != nullptr &&
+      options_.observability.sample_interval > sim::Duration::Zero() &&
+      !clients.empty()) {
+    env_.Spawn(SamplerProc(), "metrics-sampler");
+  }
+
   env_.Run();
 
   sim::Duration makespan;
@@ -636,7 +711,86 @@ std::vector<ClientResult> Experiment::Run(
   }
   pool_->Shutdown();
   env_.Run();  // drain exiting workers
+  if (options_.observability.registry != nullptr) {
+    // Final bridge: every ServingCounters field lands in the registry even
+    // when the sampler is off (or between its last tick and the finish).
+    counters_.ExportTo(*options_.observability.registry);
+  }
   return results;
+}
+
+sim::Task Experiment::SamplerProc() {
+  metrics::MetricRegistry& reg = *options_.observability.registry;
+  const sim::Duration interval = options_.observability.sample_interval;
+
+  // Resolve series handles up front; the tick loop below is then lookup-
+  // free. Breakers appear lazily (a model's first replica creates one), so
+  // their handle cache is rebuilt only when the breaker count changes.
+  struct DeviceSeries {
+    metrics::MetricRegistry::TimeSeries* utilization;
+    metrics::MetricRegistry::TimeSeries* pending;
+    metrics::MetricRegistry::TimeSeries* health;
+    metrics::MetricRegistry::TimeSeries* outstanding;
+    sim::Duration busy_prev;
+  };
+  std::vector<DeviceSeries> dev(gpus_.size());
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    const metrics::Labels labels{{"gpu", std::to_string(i)}};
+    dev[i].utilization = &reg.GetSeries("olympian_gpu_utilization", labels);
+    dev[i].pending = &reg.GetSeries("olympian_gpu_pending_kernels", labels);
+    dev[i].health = &reg.GetSeries("olympian_device_health", labels);
+    dev[i].outstanding = &reg.GetSeries("olympian_placer_outstanding", labels);
+    dev[i].busy_prev = gpus_[i]->TotalBusy();
+  }
+  metrics::MetricRegistry::TimeSeries& pool_occupancy =
+      reg.GetSeries("olympian_pool_occupancy");
+  std::vector<std::pair<const CircuitBreaker*,
+                        metrics::MetricRegistry::TimeSeries*>>
+      breaker_series;
+
+  sim::TimePoint window_start = env_.Now();
+  while (clients_running_ > 0) {
+    co_await env_.Delay(interval);
+    const sim::TimePoint now = env_.Now();
+    const sim::Duration window = now - window_start;
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+      const sim::Duration busy = gpus_[i]->TotalBusy();
+      dev[i].utilization->Sample(
+          now, window > sim::Duration::Zero()
+                   ? (busy - dev[i].busy_prev).Ratio(window)
+                   : 0.0);
+      dev[i].busy_prev = busy;
+      dev[i].pending->Sample(now,
+                             static_cast<double>(gpus_[i]->pending_kernels()));
+      dev[i].health->Sample(
+          now, health_ == nullptr
+                   ? 0.0
+                   : static_cast<double>(
+                         static_cast<int>(health_->health(i))));
+      dev[i].outstanding->Sample(
+          now, placer_ == nullptr
+                   ? 0.0
+                   : static_cast<double>(placer_->outstanding(i)));
+      if (hooks_[i] != nullptr) hooks_[i]->OnSample(reg, now, i);
+    }
+    pool_occupancy.Sample(
+        now, static_cast<double>(pool_->busy_workers() + pool_->queued()) /
+                 static_cast<double>(pool_->num_threads()));
+    if (breaker_series.size() != breakers_.size()) {
+      breaker_series.clear();
+      breaker_series.reserve(breakers_.size());
+      for (const auto& [model, breaker] : breakers_) {
+        breaker_series.emplace_back(
+            breaker.get(),
+            &reg.GetSeries("olympian_breaker_state", {{"model", model}}));
+      }
+    }
+    for (const auto& [breaker, series] : breaker_series) {
+      series->Sample(
+          now, static_cast<double>(static_cast<int>(breaker->state())));
+    }
+    window_start = now;
+  }
 }
 
 double Experiment::utilization() const {

@@ -17,6 +17,7 @@
 #include "graph/hooks.h"
 #include "graph/thread_pool.h"
 #include "metrics/counters.h"
+#include "metrics/registry.h"
 #include "models/model_zoo.h"
 #include "serving/degradation.h"
 #include "serving/health.h"
@@ -49,6 +50,21 @@ struct FailoverOptions {
   sim::Duration hedge_delay = sim::Duration::Millis(5);
 };
 
+// Observability wiring for a serving run. Fully passive: with `registry`
+// null (the default) no sampling runs and no registry is touched, and even
+// when enabled the sampler is strictly read-only — the golden determinism
+// suite asserts finish times are bit-identical in both modes.
+struct ObservabilityOptions {
+  // Destination for counters, request-latency histograms, and the
+  // sampler's windowed series. Owned by the caller; must outlive Run.
+  metrics::MetricRegistry* registry = nullptr;
+  // Virtual-clock cadence of the sampler process that snapshots per-device
+  // utilization, queue depth, health, placer load, pool occupancy, breaker
+  // state, and scheduler token occupancy (via SchedulingHooks::OnSample).
+  // Zero disables the sampler; counters and histograms still flow.
+  sim::Duration sample_interval = sim::Duration::Zero();
+};
+
 // Configuration of one model-server instance.
 struct ServerOptions {
   gpusim::Gpu::Options gpu;  // device spec + driver arbitration
@@ -72,6 +88,8 @@ struct ServerOptions {
   DegradationOptions degradation;
   // Health-aware placement / failover / recovery. Off by default.
   FailoverOptions failover;
+  // Metrics registry + sampler wiring. Off by default.
+  ObservabilityOptions observability;
   // Master seed; every stochastic component derives its stream from it.
   std::uint64_t seed = 1;
 };
@@ -208,6 +226,9 @@ class Experiment : private HealthObserver {
     graph::CancelToken* token = nullptr;  // hedge's in-flight token
     graph::JobContext* ctx = nullptr;
     std::size_t gpu = 0;
+    // Causal identity of the request this hedge shadows, for tracing.
+    std::uint64_t request_id = 0;
+    std::int32_t attempt = 0;
     sim::CondVar cv;
   };
 
@@ -242,6 +263,10 @@ class Experiment : private HealthObserver {
                       const graph::Graph& g, std::size_t gpu,
                       std::shared_ptr<HedgeState> st);
   graph::JobContext* ClientContext(std::size_t client_index, std::size_t gpu);
+  // Virtual-clock sampler: snapshots device/pool/health/scheduler state
+  // into the observability registry every `sample_interval` until the last
+  // client finishes. Read-only; never perturbs the simulation.
+  sim::Task SamplerProc();
   void RegisterInFlight(std::size_t gpu, graph::CancelToken* token,
                         graph::JobContext* ctx);
   void DeregisterInFlight(std::size_t gpu, const graph::CancelToken* token);
@@ -280,6 +305,15 @@ class Experiment : private HealthObserver {
   // Clients still running; the last one out stops the health monitor's
   // probe loops so the event queue can drain.
   std::size_t remaining_clients_ = 0;
+
+  // --- observability state ------------------------------------------------
+  // Monotonic request-id source; every admission (retry, failover, hedge)
+  // of one request reuses its id as the Chrome-trace flow id.
+  std::uint64_t next_request_id_ = 0;
+  // Clients still inside ClientProc; the sampler loop's stop condition
+  // (kept distinct from remaining_clients_, which only exists under
+  // failover).
+  std::size_t clients_running_ = 0;
 };
 
 }  // namespace olympian::serving

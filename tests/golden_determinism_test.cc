@@ -23,6 +23,8 @@
 
 #include "core/profiler.h"
 #include "core/scheduler.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
 #include "serving/server.h"
 
 namespace olympian {
@@ -43,13 +45,24 @@ constexpr int kClients = 10;
 constexpr int kBatches = 2;
 constexpr std::uint64_t kSeed = 5;
 
-GoldenRun RunWorkload(bool olympian) {
+GoldenRun RunWorkload(bool olympian, bool observed = false) {
   std::vector<serving::ClientSpec> clients(
       kClients, serving::ClientSpec{.model = "inception-v4",
                                     .batch = 100,
                                     .num_batches = kBatches});
   serving::ServerOptions opts;
   opts.seed = kSeed;
+  // Full observability: tracer on the executor, registry + sampler on the
+  // serving layer. The sampler adds its own timer events (so
+  // events_executed differs) but is strictly read-only and draws no
+  // randomness — every simulation outcome must stay bit-identical.
+  metrics::Tracer tracer(100000);
+  metrics::MetricRegistry registry;
+  if (observed) {
+    opts.executor.tracer = &tracer;
+    opts.observability.registry = &registry;
+    opts.observability.sample_interval = sim::Duration::Millis(10);
+  }
   serving::Experiment exp(opts);
 
   std::unique_ptr<core::Scheduler> sched;
@@ -137,6 +150,25 @@ TEST(GoldenDeterminismTest, OlympianMatchesGoldenAndReplays) {
     return;
   }
   EXPECT_EQ(a, kGoldenOlympian) << "Olympian run diverged from golden values";
+}
+
+// Observability must be invisible to the virtual clock: with the tracer,
+// registry, and sampler all live, every simulation outcome — finish times,
+// GPU durations, batch counts, scheduler switch/quantum counts — is
+// bit-identical to the unobserved run. Only events_executed may differ
+// (the sampler's own timer ticks are events), so it is excluded here.
+TEST(GoldenDeterminismTest, ObservabilityLeavesOutcomesBitIdentical) {
+  for (const bool olympian : {false, true}) {
+    const GoldenRun plain = RunWorkload(olympian, /*observed=*/false);
+    const GoldenRun observed = RunWorkload(olympian, /*observed=*/true);
+    EXPECT_EQ(observed.finish_ns, plain.finish_ns) << "olympian=" << olympian;
+    EXPECT_EQ(observed.gpu_ns, plain.gpu_ns) << "olympian=" << olympian;
+    EXPECT_EQ(observed.batches, plain.batches) << "olympian=" << olympian;
+    EXPECT_EQ(observed.switches, plain.switches) << "olympian=" << olympian;
+    EXPECT_EQ(observed.quanta, plain.quanta) << "olympian=" << olympian;
+    EXPECT_GT(observed.events, plain.events)
+        << "sampler ticks should add events";
+  }
 }
 
 // ---------------------------------------------------------------------------

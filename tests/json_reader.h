@@ -1,0 +1,281 @@
+#pragma once
+
+// Minimal strict JSON parser for tests. The production exporters
+// (Tracer::WriteChromeTrace, MetricRegistry::WriteJsonTimeline, bench::Json)
+// hand-emit JSON; these tests parse the full output back with an
+// independent implementation so a malformed escape, missing comma, or
+// unquoted value fails loudly instead of "looking fine" in a substring
+// check.
+//
+// Strictness follows RFC 8259: no trailing commas, no comments, no bare
+// values outside the grammar, string escapes limited to the spec set, and
+// Parse() rejects trailing garbage after the top-level value. Numbers are
+// held as double (sufficient for trace timestamps and metric values).
+//
+// Header-only and test-only; not part of the production library.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace olympian::testjson {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : v_(nullptr) {}
+  explicit Value(Storage v) : v_(std::move(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool AsBool() const { return Get<bool>("bool"); }
+  double AsNumber() const { return Get<double>("number"); }
+  const std::string& AsString() const { return Get<std::string>("string"); }
+  const Array& AsArray() const { return Get<Array>("array"); }
+  const Object& AsObject() const { return Get<Object>("object"); }
+
+  // Object member access; throws when absent or not an object.
+  const Value& at(const std::string& key) const {
+    const Object& o = AsObject();
+    const auto it = o.find(key);
+    if (it == o.end()) throw std::runtime_error("json: no member '" + key + "'");
+    return it->second;
+  }
+  bool contains(const std::string& key) const {
+    return is_object() && AsObject().count(key) > 0;
+  }
+
+ private:
+  template <typename T>
+  const T& Get(const char* what) const {
+    if (const T* p = std::get_if<T>(&v_)) return *p;
+    throw std::runtime_error(std::string("json: value is not a ") + what);
+  }
+  Storage v_;
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Value ParseDocument() {
+    Value v = ParseValue();
+    SkipWs();
+    if (pos_ != s_.size()) Fail("trailing garbage after top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw std::runtime_error("json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= s_.size()) Fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value ParseValue() {
+    SkipWs();
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return Value(Value::Storage(ParseString()));
+      case 't':
+        ParseLiteral("true");
+        return Value(Value::Storage(true));
+      case 'f':
+        ParseLiteral("false");
+        return Value(Value::Storage(false));
+      case 'n':
+        ParseLiteral("null");
+        return Value(Value::Storage(nullptr));
+      default:
+        return Value(Value::Storage(ParseNumber()));
+    }
+  }
+
+  void ParseLiteral(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) Fail("bad literal");
+    pos_ += lit.size();
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Object o;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return Value(Value::Storage(std::move(o)));
+    }
+    while (true) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      o.emplace(std::move(key), ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return Value(Value::Storage(std::move(o)));
+    }
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Array a;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Value(Value::Storage(std::move(a)));
+    }
+    while (true) {
+      a.push_back(ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return Value(Value::Storage(std::move(a)));
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) Fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume backslash
+      if (pos_ >= s_.size()) Fail("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) Fail("short \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (tests only need the BMP; surrogates untested).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("invalid escape");
+      }
+    }
+  }
+
+  double ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      Fail("bad number");
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;  // leading zero: no further integer digits allowed
+    } else {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        Fail("bad fraction");
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        Fail("bad exponent");
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    return std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+// Parses a complete JSON document; throws std::runtime_error on any
+// grammar violation, including trailing content.
+inline Value Parse(std::string_view text) {
+  return detail::Parser(text).ParseDocument();
+}
+
+}  // namespace olympian::testjson

@@ -9,6 +9,7 @@
 
 #include "core/profiler.h"
 #include "core/scheduler.h"
+#include "json_reader.h"
 #include "metrics/stats.h"
 #include "metrics/trace.h"
 #include "serving/server.h"
@@ -51,6 +52,110 @@ TEST(TracerTest, ChromeJsonShape) {
   EXPECT_NE(out.find(R"("dur":3)"), std::string::npos);
   // Quotes in names are escaped.
   EXPECT_NE(out.find(R"(job-\"0\")"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON correctness: parse the whole export with a real (strict) parser.
+// Substring checks cannot catch a missing comma or a bad escape; these can.
+
+testjson::Value ParseTrace(const Tracer& t) {
+  std::ostringstream os;
+  t.WriteChromeTrace(os);
+  return testjson::Parse(os.str());
+}
+
+TEST(TracerTest, ChromeTraceParsesAsStrictJson) {
+  Tracer t;
+  const TimePoint t0;
+  t.AddSpan("cat", "plain", 1, t0 + Duration::Micros(1),
+            t0 + Duration::Micros(4));
+  t.AddSpanNumbered("token", "job-", 17, -1, t0 + Duration::Micros(2),
+                    t0 + Duration::Micros(6));
+  t.AddInstant("mark", "tick", 2, t0 + Duration::Micros(9));
+  t.AddInstantNumbered("placer", "route-gpu-", 1, 3, t0 + Duration::Micros(9));
+  t.AddFlow(Tracer::FlowPhase::kBegin, "request", "req-", 7, 4,
+            t0 + Duration::Micros(10));
+  t.AddFlow(Tracer::FlowPhase::kStep, "request", "req-", 7, 5,
+            t0 + Duration::Micros(11));
+  t.AddFlow(Tracer::FlowPhase::kEnd, "request", "req-", 7, 5,
+            t0 + Duration::Micros(12));
+
+  const testjson::Value doc = ParseTrace(t);
+  const auto& events = doc.AsArray();
+  ASSERT_EQ(events.size(), 7u);
+  for (const auto& e : events) {
+    // Every record carries the trace-event required fields.
+    EXPECT_TRUE(e.at("cat").is_string());
+    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("ph").is_string());
+  }
+  // Numbered names are rendered at export: "job-" + 17.
+  EXPECT_EQ(events[1].at("name").AsString(), "job-17");
+  EXPECT_EQ(events[1].at("ph").AsString(), "X");
+  EXPECT_DOUBLE_EQ(events[1].at("dur").AsNumber(), 4.0);  // us
+  EXPECT_EQ(events[3].at("name").AsString(), "route-gpu-1");
+  EXPECT_EQ(events[3].at("ph").AsString(), "i");
+  EXPECT_EQ(events[3].at("s").AsString(), "t");
+  // Flow hops: phases s/t/f, the flow id as a string, and "bp":"e" on the
+  // terminator so the arrow binds to the enclosing slice.
+  EXPECT_EQ(events[4].at("ph").AsString(), "s");
+  EXPECT_EQ(events[4].at("id").AsString(), "7");
+  EXPECT_EQ(events[4].at("name").AsString(), "req-7");
+  EXPECT_FALSE(events[4].contains("bp"));
+  EXPECT_EQ(events[5].at("ph").AsString(), "t");
+  EXPECT_EQ(events[6].at("ph").AsString(), "f");
+  EXPECT_EQ(events[6].at("bp").AsString(), "e");
+  EXPECT_DOUBLE_EQ(events[6].at("ts").AsNumber(), 12.0);
+}
+
+TEST(TracerTest, ControlCharactersAndQuotesAreEscaped) {
+  Tracer t;
+  // Interned names can carry arbitrary bytes (fault descriptions, model
+  // names); the export must string-escape them, not trust the caller.
+  const std::string hostile = "a\"b\\c\nd\te\x01f";
+  t.AddInstant("cat", t.Intern(hostile), 0, TimePoint() + Duration::Micros(1));
+
+  const testjson::Value doc = ParseTrace(t);
+  ASSERT_EQ(doc.AsArray().size(), 1u);
+  // A strict parser round-trips the exact original bytes.
+  EXPECT_EQ(doc.AsArray()[0].at("name").AsString(), hostile);
+}
+
+TEST(TracerTest, TruncationIsCountedAndStampedIntoExport) {
+  Tracer t(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    t.AddSpan("c", "s", 0, TimePoint(), TimePoint() + Duration::Micros(1));
+  }
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 3u);
+
+  const testjson::Value doc = ParseTrace(t);
+  const auto& events = doc.AsArray();
+  // Two real events plus the truncation metadata record.
+  ASSERT_EQ(events.size(), 3u);
+  const testjson::Value& meta = events.back();
+  EXPECT_EQ(meta.at("cat").AsString(), "__metadata");
+  EXPECT_EQ(meta.at("name").AsString(), "trace_truncated");
+  EXPECT_DOUBLE_EQ(meta.at("args").at("dropped").AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(meta.at("args").at("max_events").AsNumber(), 2.0);
+}
+
+TEST(TracerTest, UntruncatedExportCarriesNoMetadataRecord) {
+  Tracer t(/*max_events=*/8);
+  t.AddSpan("c", "s", 0, TimePoint(), TimePoint() + Duration::Micros(1));
+  const testjson::Value doc = ParseTrace(t);
+  ASSERT_EQ(doc.AsArray().size(), 1u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerTest, EmptyTraceIsAValidJsonArray) {
+  Tracer t;
+  const testjson::Value doc = ParseTrace(t);
+  EXPECT_TRUE(doc.is_array());
+  EXPECT_TRUE(doc.AsArray().empty());
 }
 
 TEST(TracerTest, OverflowPerSwitchIsBounded) {
