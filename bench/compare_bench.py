@@ -57,6 +57,13 @@ def load_benchmarks(path):
         if b.get("run_type") == "aggregate":
             continue
         out[b["name"]] = b
+    # SweepRunner artifacts (BENCH_<sweep>.json): each case's scalar metrics
+    # become that entry's counters, so the --min/--max-counter gates work on
+    # sweep output exactly as on google-benchmark output.
+    for c in doc.get("cases", []):
+        entry = {k: v for k, v in c.get("metrics", {}).items()}
+        entry["name"] = c["name"]
+        out[c["name"]] = entry
     if not out:
         print(f"error: no benchmark entries in {path}", file=sys.stderr)
         sys.exit(2)

@@ -231,6 +231,29 @@ Json TimelineJson(const metrics::MetricRegistry& registry) {
   return out;
 }
 
+Json HistogramJson(const metrics::MetricRegistry::Histogram& h) {
+  Json buckets = Json::Array();
+  const auto& bounds = h.bounds();
+  const auto& counts = h.bucket_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    Json le = i < bounds.size() ? Json::Num(bounds[i]) : Json::Str("+Inf");
+    buckets.Push(Json::Array()
+                     .Push(std::move(le))
+                     .Push(Json::Num(static_cast<double>(counts[i]))));
+  }
+  Json out = Json::Object();
+  out.Set("count", Json::Num(static_cast<double>(h.count())))
+      .Set("sum", Json::Num(h.sum()))
+      .Set("min", Json::Num(h.count() > 0 ? h.min() : 0.0))
+      .Set("max", Json::Num(h.count() > 0 ? h.max() : 0.0))
+      .Set("p50", Json::Num(h.count() > 0 ? h.Quantile(0.5) : 0.0))
+      .Set("p95", Json::Num(h.count() > 0 ? h.Quantile(0.95) : 0.0))
+      .Set("p99", Json::Num(h.count() > 0 ? h.Quantile(0.99) : 0.0))
+      .Set("buckets", std::move(buckets));
+  return out;
+}
+
 // --- SweepRunner ------------------------------------------------------------
 
 int SweepRunner::Threads() const {
@@ -312,6 +335,9 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
     }
     if (r.timeline != nullptr) {
       case_json.Set("timeline", *r.timeline);
+    }
+    if (r.histograms != nullptr) {
+      case_json.Set("histograms", *r.histograms);
     }
     cases_json.Push(std::move(case_json));
   }

@@ -101,6 +101,10 @@ struct SweepCase {
   // Optional sampler timeline (see TimelineJson); embedded into the case's
   // JSON when set. shared_ptr keeps SweepCase copyable for the runner.
   std::shared_ptr<Json> timeline;
+  // Optional named distributions (see HistogramJson), e.g. per-incident
+  // MTTR: an object mapping name -> histogram block, embedded as
+  // "histograms" in the case's JSON when set.
+  std::shared_ptr<Json> histograms;
   void Set(std::string key, double v) {
     metrics.emplace_back(std::move(key), v);
   }
@@ -119,6 +123,12 @@ Json SloJson(const metrics::SloReport& report);
 // JSON block for a registry's sampled time series (the compact timeline the
 // virtual-clock sampler produces): {"series":[{name, labels, points}...]}.
 Json TimelineJson(const metrics::MetricRegistry& registry);
+
+// JSON block for one log-bucketed histogram: count/sum/min/max, p50/p95/p99,
+// and the non-empty buckets as [upper_bound, count] pairs (the overflow
+// bucket's bound rendered as the string "+Inf"). Gives BENCH_*.json the
+// full distribution behind a scalar like mttr_ms, not just its mean.
+Json HistogramJson(const metrics::MetricRegistry::Histogram& h);
 
 // Fans independent (config, seed) runs across OS threads.
 //

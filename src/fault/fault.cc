@@ -140,6 +140,101 @@ FaultPlan FaultPlan::Random(const RandomOptions& options, std::uint64_t seed) {
   return plan;
 }
 
+const char* ToString(ServerFaultKind kind) {
+  switch (kind) {
+    case ServerFaultKind::kCrash:
+      return "server-crash";
+    case ServerFaultKind::kHang:
+      return "server-hang";
+    case ServerFaultKind::kPartition:
+      return "partition";
+  }
+  return "unknown";
+}
+
+const char* ToString(PartitionDirection d) {
+  switch (d) {
+    case PartitionDirection::kToServer:
+      return "to-server";
+    case PartitionDirection::kFromServer:
+      return "from-server";
+    case PartitionDirection::kBoth:
+      return "both";
+  }
+  return "unknown";
+}
+
+ServerFaultPlan& ServerFaultPlan::Crash(sim::TimePoint at, sim::Duration outage,
+                                        std::size_t server) {
+  events_.push_back(ServerFaultEvent{.kind = ServerFaultKind::kCrash,
+                                     .at = at,
+                                     .server = server,
+                                     .duration = outage});
+  return *this;
+}
+
+ServerFaultPlan& ServerFaultPlan::Hang(sim::TimePoint at, sim::Duration duration,
+                                       std::size_t server) {
+  events_.push_back(ServerFaultEvent{.kind = ServerFaultKind::kHang,
+                                     .at = at,
+                                     .server = server,
+                                     .duration = duration});
+  return *this;
+}
+
+ServerFaultPlan& ServerFaultPlan::Partition(sim::TimePoint at,
+                                            sim::Duration window,
+                                            std::size_t server,
+                                            PartitionDirection direction) {
+  events_.push_back(ServerFaultEvent{.kind = ServerFaultKind::kPartition,
+                                     .at = at,
+                                     .server = server,
+                                     .duration = window,
+                                     .direction = direction});
+  return *this;
+}
+
+ServerFaultPlan ServerFaultPlan::Random(const RandomOptions& options,
+                                        std::uint64_t seed) {
+  if (options.num_servers < 1) {
+    throw std::invalid_argument("Random server fault plan needs >= 1 server");
+  }
+  sim::Rng rng(seed);
+  ServerFaultPlan plan;
+  const auto draw_server = [&] {
+    return static_cast<std::size_t>(rng.UniformInt(
+        0, static_cast<std::int64_t>(options.num_servers) - 1));
+  };
+  DrawArrivals(rng, options.expected_crashes, options.horizon,
+               [&](sim::TimePoint at) {
+                 plan.Crash(at,
+                            options.mean_crash_outage *
+                                (-std::log(1.0 - rng.NextDouble())),
+                            draw_server());
+               });
+  DrawArrivals(rng, options.expected_hangs, options.horizon,
+               [&](sim::TimePoint at) {
+                 plan.Hang(at,
+                           options.mean_hang *
+                               (-std::log(1.0 - rng.NextDouble())),
+                           draw_server());
+               });
+  DrawArrivals(rng, options.expected_partitions, options.horizon,
+               [&](sim::TimePoint at) {
+                 const auto dir = static_cast<PartitionDirection>(
+                     rng.UniformInt(0, 2));
+                 plan.Partition(at,
+                                options.mean_partition *
+                                    (-std::log(1.0 - rng.NextDouble())),
+                                draw_server(), dir);
+               });
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const ServerFaultEvent& a, const ServerFaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
 FaultInjector::FaultInjector(sim::Environment& env,
                              std::vector<gpusim::Gpu*> gpus, FaultPlan plan,
                              metrics::ServingCounters* counters,

@@ -103,6 +103,78 @@ class FaultPlan {
   std::vector<FaultEvent> events_;
 };
 
+// --- server-level faults ----------------------------------------------------
+//
+// Whole-server failure modes for the cluster layer: the unit of failure is
+// a serving process (all of its devices at once) or the network path
+// between the front-end router and one server. Like FaultPlan, a
+// ServerFaultPlan is pure data on the virtual clock; the cluster layer owns
+// the applier (this library cannot depend on serving).
+
+enum class ServerFaultKind : std::uint8_t {
+  // Process crash: every device of the server resets and submissions fail
+  // fast for `duration`; the process restarts when the outage ends and the
+  // server's own recovery pipeline (driver re-init, reload, warm-up) runs
+  // before it takes traffic again.
+  kCrash,
+  // Stop-the-world hang: the process stays up but stops answering — every
+  // device hangs for `duration` and router probes time out.
+  kHang,
+  // Asymmetric network partition between the router and the server for
+  // `duration`: kToServer drops requests and probes on the way in,
+  // kFromServer drops responses on the way out, kBoth drops both.
+  kPartition,
+};
+
+const char* ToString(ServerFaultKind kind);
+
+enum class PartitionDirection : std::uint8_t { kToServer, kFromServer, kBoth };
+
+const char* ToString(PartitionDirection d);
+
+struct ServerFaultEvent {
+  ServerFaultKind kind = ServerFaultKind::kCrash;
+  sim::TimePoint at;
+  std::size_t server = 0;
+  sim::Duration duration;  // outage / hang / partition window length
+  PartitionDirection direction = PartitionDirection::kBoth;  // kPartition only
+};
+
+// Declarative schedule of server-level faults; fluent adders or a seeded
+// stochastic generator, mirroring FaultPlan.
+class ServerFaultPlan {
+ public:
+  ServerFaultPlan& Crash(sim::TimePoint at, sim::Duration outage,
+                         std::size_t server);
+  ServerFaultPlan& Hang(sim::TimePoint at, sim::Duration duration,
+                        std::size_t server);
+  ServerFaultPlan& Partition(sim::TimePoint at, sim::Duration window,
+                             std::size_t server,
+                             PartitionDirection direction);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<ServerFaultEvent>& events() const { return events_; }
+
+  struct RandomOptions {
+    sim::Duration horizon = sim::Duration::Seconds(10.0);
+    std::size_t num_servers = 2;
+    double expected_crashes = 0.0;
+    sim::Duration mean_crash_outage = sim::Duration::Millis(400);
+    double expected_hangs = 0.0;
+    sim::Duration mean_hang = sim::Duration::Millis(50);
+    double expected_partitions = 0.0;
+    sim::Duration mean_partition = sim::Duration::Millis(100);
+  };
+
+  // Draw a plan from `seed`: same seed, same plan, bit-for-bit.
+  static ServerFaultPlan Random(const RandomOptions& options,
+                                std::uint64_t seed);
+
+ private:
+  std::vector<ServerFaultEvent> events_;
+};
+
 // Applies a FaultPlan to live devices at the scheduled virtual times.
 // Construct it after the Environment and Gpus, then call Arm() before (or
 // during) the run; events before the current time are dropped. Counters and

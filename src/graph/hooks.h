@@ -24,6 +24,22 @@ enum class CancelReason : std::uint8_t {
                   // without consuming its retry budget
 };
 
+// Stable label for a cancel reason; used verbatim as the `reason` argument
+// of tracer flow hops, so trace consumers can key on these strings.
+inline const char* ToString(CancelReason r) {
+  switch (r) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kKernelFailed:
+      return "kernel-failed";
+    case CancelReason::kFailover:
+      return "failover";
+  }
+  return "unknown";
+}
+
 // Per-request cancellation token. The issuer (serving layer) points
 // `JobContext::cancel` at one of these for the duration of a run; the
 // executor checks it at every node boundary and the scheduler checks it

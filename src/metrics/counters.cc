@@ -57,4 +57,47 @@ void ServingCounters::ExportTo(MetricRegistry& registry) const {
   }
 }
 
+std::span<const RouterCounters::Field> RouterCounters::Fields() {
+  static constexpr Field kFields[] = {
+      {"server_crashes", &RouterCounters::server_crashes},
+      {"server_hangs", &RouterCounters::server_hangs},
+      {"partitions", &RouterCounters::partitions},
+      {"requests_routed", &RouterCounters::requests_routed},
+      {"requests_ok", &RouterCounters::requests_ok},
+      {"requests_failed", &RouterCounters::requests_failed},
+      {"requests_timed_out", &RouterCounters::requests_timed_out},
+      {"requests_rejected_no_server",
+       &RouterCounters::requests_rejected_no_server},
+      {"requests_failed_over", &RouterCounters::requests_failed_over},
+      {"retries", &RouterCounters::retries},
+      {"requests_lost_to_server", &RouterCounters::requests_lost_to_server},
+      {"responses_lost_from_server",
+       &RouterCounters::responses_lost_from_server},
+      {"probes_sent", &RouterCounters::probes_sent},
+      {"probe_failures", &RouterCounters::probe_failures},
+      {"server_transitions", &RouterCounters::server_transitions},
+      {"server_down_events", &RouterCounters::server_down_events},
+      {"server_readmissions", &RouterCounters::server_readmissions},
+      {"tenant_instantiations", &RouterCounters::tenant_instantiations},
+  };
+  return kFields;
+}
+
+void RouterCounters::Print(std::ostream& os) const {
+  for (const Field& f : Fields()) {
+    const std::uint64_t v = this->*f.member;
+    if (v != 0) os << "  " << f.name << " " << v << "\n";
+  }
+}
+
+void RouterCounters::ExportTo(MetricRegistry& registry) const {
+  std::string name;
+  for (const Field& f : Fields()) {
+    name.assign("olympian_router_");
+    name.append(f.name);
+    name.append("_total");
+    registry.GetCounter(name).Set(this->*f.member);
+  }
+}
+
 }  // namespace olympian::metrics

@@ -75,4 +75,59 @@ struct ServingCounters {
   void ExportTo(MetricRegistry& registry) const;
 };
 
+// Monotonic event counters for the cluster front-end: routing decisions,
+// cross-server failover, router-side probing, and the server-level fault
+// model (crashes, hangs, partitions). One instance lives in each
+// `serving::Cluster`; the router, the cluster request path, and the server
+// fault applier all increment it. Same single-source-table idiom as
+// ServingCounters, exported as "olympian_router_<field>_total".
+struct RouterCounters {
+  // --- injected server faults --------------------------------------------
+  std::uint64_t server_crashes = 0;
+  std::uint64_t server_hangs = 0;
+  std::uint64_t partitions = 0;
+
+  // --- routing / request outcomes ----------------------------------------
+  std::uint64_t requests_routed = 0;   // forward legs dispatched
+  std::uint64_t requests_ok = 0;       // served (incl. server-side retries)
+  std::uint64_t requests_failed = 0;   // exhausted the router retry budget
+  std::uint64_t requests_timed_out = 0;
+  // Rejected because no routable server remained.
+  std::uint64_t requests_rejected_no_server = 0;
+  // Re-admitted on a surviving server WITHOUT consuming the client retry
+  // budget (the cross-server mirror of requests_failed_over).
+  std::uint64_t requests_failed_over = 0;
+  std::uint64_t retries = 0;  // budgeted retries of genuine failures
+
+  // --- network fault effects ---------------------------------------------
+  std::uint64_t requests_lost_to_server = 0;     // dropped router -> server
+  std::uint64_t responses_lost_from_server = 0;  // dropped server -> router
+
+  // --- router-side health view -------------------------------------------
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_failures = 0;
+  std::uint64_t server_transitions = 0;   // any server health-state edge
+  std::uint64_t server_down_events = 0;   // -> down edges
+  std::uint64_t server_readmissions = 0;  // recovering -> healthy edges
+  std::uint64_t tenant_instantiations = 0;  // lazy (client, server) setups
+
+  std::uint64_t requests_total() const {
+    return requests_ok + requests_failed + requests_timed_out +
+           requests_rejected_no_server;
+  }
+
+  struct Field {
+    const char* name;
+    std::uint64_t RouterCounters::* member;
+  };
+  static std::span<const Field> Fields();
+
+  // One "name value" row per non-zero counter, in Fields() order.
+  void Print(std::ostream& os) const;
+
+  // Mirrors every field into `registry` as "olympian_router_<field>_total"
+  // via Counter::Set (idempotent).
+  void ExportTo(MetricRegistry& registry) const;
+};
+
 }  // namespace olympian::metrics

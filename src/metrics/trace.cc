@@ -82,6 +82,11 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
         // arrow bind to the enclosing slice rather than the next one.
         os << R"(,"ph":")" << e.ph << R"(","id":")" << e.flow << '"';
         if (e.ph == 'f') os << R"(,"bp":"e")";
+        if (e.detail != nullptr) {
+          os << R"(,"args":{"reason":")";
+          EscapeInto(os, e.detail);
+          os << R"("})";
+        }
         os << "}";
         break;
       default:

@@ -84,6 +84,15 @@ class Tracer {
   void AddFlow(FlowPhase phase, const char* category, const char* name,
                std::uint64_t flow_id, std::int64_t track, sim::TimePoint t);
 
+  // As above, with a `reason` annotation rendered as args:{"reason":...} in
+  // the Chrome export: why this leg of the request started (a kStep after a
+  // failover, retry, or hedge) or how the flow ended (a kEnd's terminal
+  // outcome). `detail` must outlive the tracer (literal or Intern()ed);
+  // nullptr elides the annotation.
+  void AddFlow(FlowPhase phase, const char* category, const char* name,
+               std::uint64_t flow_id, std::int64_t track, sim::TimePoint t,
+               const char* detail);
+
   // Returns a pointer, stable for the tracer's lifetime, to a deduplicated
   // copy of `s`. For cold paths that compose names dynamically (health
   // transitions, fault descriptions); repeated strings are stored once.
@@ -103,6 +112,9 @@ class Tracer {
     std::int64_t dur_ns;     // -1 => instant or flow hop
     std::uint64_t flow = 0;  // flow id; meaningful only when ph is s/t/f
     char ph = 'X';           // 'X' span, 'i' instant, 's'/'t'/'f' flow
+    // Flow-hop annotation (why the leg started / how the flow ended);
+    // nullptr => none. Rendered as args:{"reason":...} on flow phases.
+    const char* detail = nullptr;
   };
 
   // Raw events, for programmatic analysis (tests, custom reports).
@@ -173,13 +185,20 @@ inline void Tracer::AddInstantNumbered(const char* category, const char* name,
 inline void Tracer::AddFlow(FlowPhase phase, const char* category,
                             const char* name, std::uint64_t flow_id,
                             std::int64_t track, sim::TimePoint t) {
+  AddFlow(phase, category, name, flow_id, track, t, nullptr);
+}
+
+inline void Tracer::AddFlow(FlowPhase phase, const char* category,
+                            const char* name, std::uint64_t flow_id,
+                            std::int64_t track, sim::TimePoint t,
+                            const char* detail) {
   if (full()) {
     ++dropped_;
     return;
   }
   events_.push_back(Event{category, name, static_cast<std::int64_t>(flow_id),
                           track, t.nanos(), -1, flow_id,
-                          static_cast<char>(phase)});
+                          static_cast<char>(phase), detail});
 }
 
 }  // namespace olympian::metrics

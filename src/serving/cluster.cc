@@ -1,0 +1,404 @@
+#include "serving/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace olympian::serving {
+
+int ClusterClientResult::CountStatus(RequestStatus s) const {
+  int n = 0;
+  for (const RequestStatus st : request_status) n += (st == s) ? 1 : 0;
+  return n;
+}
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)),
+      tracer_(options_.server.executor.tracer) {
+  if (options_.num_servers < 1) {
+    throw std::invalid_argument("num_servers must be >= 1");
+  }
+  // Derive decorrelated per-server seeds from the master seed; the
+  // per-client request streams use a separate derivation (see Run), so
+  // adding servers does not perturb client randomness ordering.
+  sim::Rng master(options_.seed);
+  servers_.reserve(options_.num_servers);
+  for (std::size_t s = 0; s < options_.num_servers; ++s) {
+    ServerOptions so = options_.server;
+    so.seed = master.NextU64();
+    // The cross-server contract needs the in-server placer: a server whose
+    // devices are all down must reject promptly (kRejected + no usable
+    // device), which is the signal the router converts into failover.
+    so.failover.enabled = true;
+    servers_.push_back(std::make_unique<Experiment>(std::move(so), env_));
+  }
+  RouterTransport& transport = *this;  // private base: convert in-class
+  router_ = std::make_unique<Router>(env_, transport, servers_.size(),
+                                     options_.router, &counters_,
+                                     options_.registry);
+  crashed_until_.resize(servers_.size());
+  hung_until_.resize(servers_.size());
+  part_to_until_.resize(servers_.size());
+  part_from_until_.resize(servers_.size());
+}
+
+Cluster::~Cluster() = default;
+
+sim::Task Cluster::Probe(std::size_t server, bool& ok) {
+  // Partitions drop the probe (or its reply); a crashed or hung process
+  // never answers. All evaluated at send time: deterministic and cheap.
+  const sim::TimePoint sent = env_.Now();
+  const bool dropped =
+      sent < part_to_until_[server] || sent < part_from_until_[server];
+  const bool unresponsive =
+      sent < crashed_until_[server] || sent < hung_until_[server];
+  if (dropped || unresponsive) {
+    co_await env_.Delay(options_.router.probe_timeout);
+    ok = false;
+  } else {
+    if (options_.router.net_delay > sim::Duration::Zero()) {
+      co_await env_.Delay(options_.router.net_delay * 2.0);
+    }
+    ok = true;
+  }
+}
+
+bool Cluster::HasUsableDevice(std::size_t server) const {
+  return env_.Now() >= crashed_until_[server] &&
+         servers_[server]->AnyUsableDevice();
+}
+
+void Cluster::ArmServerFaults() {
+  const auto& events = options_.faults.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].server >= servers_.size()) {
+      throw std::out_of_range("ServerFaultPlan targets server " +
+                              std::to_string(events[i].server) + " but only " +
+                              std::to_string(servers_.size()) + " exist");
+    }
+    if (events[i].at < env_.Now()) continue;  // already in the past
+    env_.ScheduleCallbackAt(events[i].at, &Cluster::FaultTrampoline, this, i);
+  }
+}
+
+void Cluster::FaultTrampoline(void* ctx, std::uint64_t index) {
+  auto* self = static_cast<Cluster*>(ctx);
+  self->ApplyServerFault(self->options_.faults.events()[index]);
+}
+
+void Cluster::ApplyServerFault(const fault::ServerFaultEvent& e) {
+  const sim::TimePoint now = env_.Now();
+  const sim::TimePoint until = now + e.duration;
+  Experiment& srv = *servers_.at(e.server);
+  switch (e.kind) {
+    case fault::ServerFaultKind::kCrash:
+      // Process crash: every device resets at once and submissions fail
+      // fast for the outage; restart hands each device to the server's own
+      // recovery pipeline (re-init, reload, warm-up).
+      crashed_until_[e.server] = std::max(crashed_until_[e.server], until);
+      for (std::size_t g = 0; g < srv.num_gpus(); ++g) {
+        srv.gpu(g).Reset(e.duration);
+      }
+      ++counters_.server_crashes;
+      break;
+    case fault::ServerFaultKind::kHang:
+      // Stop-the-world: the process stays up but stops answering; every
+      // device wedges and router probes time out until it clears.
+      hung_until_[e.server] = std::max(hung_until_[e.server], until);
+      for (std::size_t g = 0; g < srv.num_gpus(); ++g) {
+        srv.gpu(g).Hang(e.duration);
+      }
+      ++counters_.server_hangs;
+      break;
+    case fault::ServerFaultKind::kPartition:
+      if (e.direction != fault::PartitionDirection::kFromServer) {
+        part_to_until_[e.server] = std::max(part_to_until_[e.server], until);
+      }
+      if (e.direction != fault::PartitionDirection::kToServer) {
+        part_from_until_[e.server] =
+            std::max(part_from_until_[e.server], until);
+      }
+      ++counters_.partitions;
+      break;
+  }
+  if (tracer_ != nullptr && !tracer_->full()) {
+    const char* name =
+        tracer_->Intern(std::string(fault::ToString(e.kind)) + "@server" +
+                        std::to_string(e.server));
+    tracer_->AddSpan("fault", name, metrics::Tracer::kFaultTrack, now, until);
+  }
+}
+
+void Cluster::StopAll() {
+  for (auto& s : servers_) s->StopServing();
+  router_->Stop();
+}
+
+sim::Task Cluster::EnsureTenant(std::size_t server, std::size_t client,
+                                const ClientSpec& spec, std::size_t& tenant,
+                                bool& ok) {
+  ok = true;
+  if (const auto it = tenant_of_.find({server, client});
+      it != tenant_of_.end()) {
+    tenant = it->second;
+    co_return;
+  }
+  // First arrival of this client on a non-home server: parameters stream
+  // over PCIe and the tenant warms up before taking traffic — the same
+  // pricing as in-server lazy replica instantiation.
+  const models::ModelSpec& mspec = models::GetModel(spec.model);
+  const fault::RecoveryOptions& rec = options_.server.failover.recovery;
+  sim::Duration cost = rec.warmup;
+  if (rec.pcie_gbps > 0.0) {
+    cost += sim::Duration::Seconds(static_cast<double>(mspec.params_mb) /
+                                   1024.0 / rec.pcie_gbps);
+  }
+  if (cost > sim::Duration::Zero()) co_await env_.Delay(cost);
+  // A concurrent leg of the same client may have finished the setup while
+  // we streamed; re-check before instantiating.
+  if (const auto it = tenant_of_.find({server, client});
+      it != tenant_of_.end()) {
+    tenant = it->second;
+    co_return;
+  }
+  try {
+    tenant = servers_[server]->AddTenant(spec);
+  } catch (const gpusim::TransientAllocFailure&) {
+    ok = false;
+    co_return;
+  }
+  tenant_of_[{server, client}] = tenant;
+  ++counters_.tenant_instantiations;
+}
+
+sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
+                                   std::size_t home, sim::Rng& rng,
+                                   sim::TimePoint arrival,
+                                   RequestStatus& status) {
+  const RouterOptions& ro = options_.router;
+  for (int attempt = 1;;) {
+    const std::size_t s = router_->Route(home);
+    if (s == Router::kNoServer) {
+      // Nothing routable anywhere: terminate promptly as a rejection
+      // instead of spinning (mirrors requests_rejected_no_device).
+      ++counters_.requests_rejected_no_server;
+      status = RequestStatus::kRejected;
+      co_await env_.Delay(ro.retry_backoff);
+      co_return;
+    }
+    router_->OnRequestStart(s);
+
+    // Forward leg. A partition active at send time drops the request; the
+    // router only learns from the missing ack after the probe timeout.
+    const bool lost_to = env_.Now() < part_to_until_[s];
+    if (ro.net_delay > sim::Duration::Zero()) {
+      co_await env_.Delay(ro.net_delay);
+    }
+    if (lost_to) {
+      ++counters_.requests_lost_to_server;
+      co_await env_.Delay(ro.probe_timeout);
+      router_->OnRequestEnd(s);
+      router_->OnRequestError(s);
+      if (ro.failover) {
+        // Loss is the network's fault, not the request's: re-admit without
+        // spending the retry budget (the cross-server failover contract).
+        ++counters_.requests_failed_over;
+        continue;
+      }
+      if (attempt > ro.max_retries) {
+        status = RequestStatus::kFailed;
+        ++counters_.requests_failed;
+        co_return;
+      }
+      ++counters_.retries;
+      ++attempt;
+      co_await env_.Delay(ro.retry_backoff);
+      continue;
+    }
+
+    // Admission: make sure this client has a tenant slot on the server.
+    std::size_t tenant = 0;
+    bool tenant_ok = true;
+    co_await EnsureTenant(s, client, spec, tenant, tenant_ok);
+    if (!tenant_ok) {
+      router_->OnRequestEnd(s);
+      router_->OnRequestError(s);
+      if (attempt > ro.max_retries) {
+        status = RequestStatus::kFailed;
+        ++counters_.requests_failed;
+        co_return;
+      }
+      ++counters_.retries;
+      ++attempt;
+      co_await env_.Delay(ro.retry_backoff);
+      continue;
+    }
+
+    // Serve through the full in-server pipeline (admission control, breaker,
+    // device placement, retries, device failover). The original arrival
+    // anchors the deadline end-to-end across server hops.
+    RequestStatus leg = RequestStatus::kOk;
+    co_await servers_[s]->ServeTenantRequest(tenant, rng, arrival, leg);
+
+    // Response leg.
+    const bool lost_from = env_.Now() < part_from_until_[s];
+    if (ro.net_delay > sim::Duration::Zero()) {
+      co_await env_.Delay(ro.net_delay);
+    }
+    router_->OnRequestEnd(s);
+    if (lost_from) {
+      ++counters_.responses_lost_from_server;
+      router_->OnRequestError(s);
+      if (ro.failover) {
+        // At-least-once: the work happened but the answer is gone, so the
+        // request re-executes on a routable server, budget untouched.
+        ++counters_.requests_failed_over;
+        continue;
+      }
+      if (attempt > ro.max_retries) {
+        status = RequestStatus::kFailed;
+        ++counters_.requests_failed;
+        co_return;
+      }
+      ++counters_.retries;
+      ++attempt;
+      co_await env_.Delay(ro.retry_backoff);
+      continue;
+    }
+
+    if (leg == RequestStatus::kOk || leg == RequestStatus::kFailedRetried) {
+      router_->OnRequestSuccess(s);
+      ++counters_.requests_ok;
+      status = (attempt == 1 && leg == RequestStatus::kOk)
+                   ? RequestStatus::kOk
+                   : RequestStatus::kFailedRetried;
+      co_return;
+    }
+    if (leg == RequestStatus::kTimedOut) {
+      status = RequestStatus::kTimedOut;
+      ++counters_.requests_timed_out;
+      co_return;
+    }
+    // leg is kRejected or kFailed.
+    if (leg == RequestStatus::kRejected && !HasUsableDevice(s)) {
+      // The server lost every device (crash): that is a server failure,
+      // not a request failure — fail over for free.
+      router_->OnRequestError(s);
+      if (ro.failover) {
+        ++counters_.requests_failed_over;
+        continue;
+      }
+    } else if (leg == RequestStatus::kFailed) {
+      router_->OnRequestError(s);
+    }
+    if (attempt > ro.max_retries) {
+      status = leg;
+      ++counters_.requests_failed;
+      co_return;
+    }
+    ++counters_.retries;
+    ++attempt;
+    co_await env_.Delay(ro.retry_backoff);
+  }
+}
+
+sim::Task Cluster::ClientProc(std::size_t client,
+                              const ClusterClientSpec& spec,
+                              std::uint64_t seed, ClusterClientResult& out) {
+  sim::Rng rng(seed);
+  ArrivalProcess arrivals(spec.arrivals);
+  const bool legacy_open =
+      spec.request.mean_interarrival > sim::Duration::Zero();
+  metrics::MetricRegistry* const registry = options_.registry;
+  metrics::MetricRegistry::Histogram* const latency_hist =
+      registry == nullptr
+          ? nullptr
+          : &registry->GetHistogram("olympian_cluster_request_latency_ms",
+                                    {{"model", spec.request.model}});
+  sim::TimePoint arrival;  // request b's arrival instant (t=0 for b=0)
+  for (int b = 0; b < spec.request.num_batches; ++b) {
+    if (arrivals.open_loop()) {
+      if (b > 0) arrival = arrivals.Next(rng);
+      if (arrival > env_.Now()) co_await env_.Delay(arrival - env_.Now());
+    } else if (legacy_open) {
+      if (b > 0) {
+        arrival = arrival + spec.request.mean_interarrival *
+                                (-std::log(1.0 - rng.NextDouble()));
+      }
+      if (arrival > env_.Now()) co_await env_.Delay(arrival - env_.Now());
+    } else {
+      arrival = env_.Now();
+    }
+    RequestStatus status = RequestStatus::kOk;
+    co_await DispatchRequest(client, spec.request, out.home_server, rng,
+                             arrival, status);
+    out.request_latency_ms.push_back((env_.Now() - arrival).millis());
+    out.request_status.push_back(status);
+    if (latency_hist != nullptr) {
+      latency_hist->Observe(out.request_latency_ms.back());
+    }
+    if (status == RequestStatus::kOk ||
+        status == RequestStatus::kFailedRetried) {
+      ++out.requests_completed;
+    }
+  }
+  out.finish_time = env_.Now() - sim::TimePoint();
+  // Fold this client's meters into each server it ever ran on.
+  for (const auto& [key, tenant] : tenant_of_) {
+    if (key.second == client) servers_[key.first]->RetireTenant(tenant);
+  }
+  if (--clients_running_ == 0) StopAll();
+}
+
+std::vector<ClusterClientResult> Cluster::Run(
+    const std::vector<ClusterClientSpec>& clients) {
+  if (ran_) throw std::logic_error("Cluster::Run may only be called once");
+  ran_ = true;
+  for (auto& s : servers_) s->StartServing();
+  router_->Start();
+  ArmServerFaults();
+
+  std::vector<ClusterClientResult> results(clients.size());
+  std::vector<sim::Process> procs;
+  procs.reserve(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const std::size_t home = i % servers_.size();
+    // Home tenants are provisioned before traffic, like Run()'s per-client
+    // setup loop (no PCIe charge: the cluster was racked with them loaded).
+    const std::size_t tenant = servers_[home]->AddTenant(clients[i].request);
+    tenant_of_[{home, i}] = tenant;
+
+    ClusterClientResult& out = results[i];
+    out.name = clients[i].request.model + "#" + std::to_string(i);
+    out.model = clients[i].request.model;
+    out.home_server = home;
+    procs.push_back(env_.Spawn(
+        ClientProc(i, clients[i], options_.seed * 104729 + i, out),
+        "cluster/" + out.name));
+  }
+  clients_running_ = clients.size();
+
+  env_.Run();
+
+  sim::Duration makespan;
+  bool stalled = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    makespan = std::max(makespan, results[i].finish_time);
+    if (!procs[i].done()) stalled = true;
+  }
+  makespan_ = makespan;
+  if (stalled) {
+    throw ServerStalled("cluster workload stalled: unfinished clients with a "
+                        "drained event queue");
+  }
+  for (auto& s : servers_) s->ShutdownPool();
+  env_.Run();  // drain exiting workers
+  if (options_.registry != nullptr) {
+    counters_.ExportTo(*options_.registry);
+  }
+  return results;
+}
+
+}  // namespace olympian::serving

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "metrics/counters.h"
+#include "metrics/registry.h"
+#include "serving/arrivals.h"
+#include "serving/router.h"
+#include "serving/server.h"
+#include "sim/environment.h"
+
+namespace olympian::serving {
+
+// One client of the cluster: the per-request spec (model, batch, deadline,
+// count) plus an open-loop arrival generator. With `arrivals` closed-loop
+// and `request.mean_interarrival` zero the client behaves exactly like the
+// single-server closed-loop client, one level up.
+struct ClusterClientSpec {
+  ClientSpec request;
+  ArrivalSpec arrivals;
+};
+
+// Per-client outcome of a cluster run (the cross-server analogue of
+// ClientResult; gpu_index becomes the home *server*).
+struct ClusterClientResult {
+  std::string name;
+  std::string model;
+  std::size_t home_server = 0;
+  sim::Duration finish_time;
+  int requests_completed = 0;  // kOk + kFailedRetried
+  std::vector<double> request_latency_ms;
+  std::vector<RequestStatus> request_status;
+
+  int CountStatus(RequestStatus s) const;
+};
+
+struct ClusterOptions {
+  // Template for every server: devices, pool, executor, degradation. The
+  // cluster derives each server's seed from `seed` and forces
+  // failover.enabled on — the router's cross-server contract depends on the
+  // in-server placer rejecting promptly when every local device is down.
+  ServerOptions server;
+  std::size_t num_servers = 2;
+  RouterOptions router;
+  // Server-level fault schedule (crashes, hangs, partitions).
+  fault::ServerFaultPlan faults;
+  // Router counters + per-server health series land here (may be null).
+  metrics::MetricRegistry* registry = nullptr;
+  // Master seed for server seeds and per-client request streams.
+  std::uint64_t seed = 1;
+};
+
+// A cluster of N independent serving::Experiment instances on ONE shared
+// virtual clock, fronted by a Router. The cluster implements the router's
+// transport (so partitions, crashes, and hangs are modelled here, where the
+// topology lives) and the cross-server failover contract: a request whose
+// server died mid-flight is re-admitted on a survivor WITHOUT spending the
+// client retry budget, mirroring the in-server device-failover rule.
+class Cluster : private RouterTransport {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster() override;
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Runs all clients from t=0 to completion (client i's home server is
+  // i % num_servers). May only be called once.
+  std::vector<ClusterClientResult> Run(
+      const std::vector<ClusterClientSpec>& clients);
+
+  sim::Environment& env() { return env_; }
+  Experiment& server(std::size_t i) { return *servers_.at(i); }
+  std::size_t num_servers() const { return servers_.size(); }
+  const Router& router() const { return *router_; }
+  const metrics::RouterCounters& counters() const { return counters_; }
+  sim::Duration makespan() const { return makespan_; }
+
+ private:
+  // RouterTransport:
+  sim::Task Probe(std::size_t server, bool& ok) override;
+  bool HasUsableDevice(std::size_t server) const override;
+
+  sim::Task ClientProc(std::size_t client, const ClusterClientSpec& spec,
+                       std::uint64_t seed, ClusterClientResult& out);
+  // One request end-to-end: route -> forward leg -> serve -> response leg,
+  // with failover re-admission and the budgeted retry loop.
+  sim::Task DispatchRequest(std::size_t client, const ClientSpec& spec,
+                            std::size_t home, sim::Rng& rng,
+                            sim::TimePoint arrival, RequestStatus& status);
+  // Bring client's tenant up on `server`, charging parameter streaming +
+  // warm-up for a first arrival on a non-home server. `ok` is false on a
+  // transient allocation failure.
+  sim::Task EnsureTenant(std::size_t server, std::size_t client,
+                         const ClientSpec& spec, std::size_t& tenant,
+                         bool& ok);
+
+  void ArmServerFaults();
+  void ApplyServerFault(const fault::ServerFaultEvent& e);
+  static void FaultTrampoline(void* ctx, std::uint64_t index);
+  void StopAll();
+
+  ClusterOptions options_;
+  sim::Environment env_;
+  std::vector<std::unique_ptr<Experiment>> servers_;
+  std::unique_ptr<Router> router_;
+  metrics::RouterCounters counters_;
+  metrics::Tracer* tracer_;  // shared across servers via ServerOptions
+
+  // Server fault state (virtual-time windows; a past deadline means clear).
+  std::vector<sim::TimePoint> crashed_until_;
+  std::vector<sim::TimePoint> hung_until_;
+  std::vector<sim::TimePoint> part_to_until_;    // router -> server drops
+  std::vector<sim::TimePoint> part_from_until_;  // server -> router drops
+
+  // (server, client) -> tenant index on that server.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> tenant_of_;
+
+  std::size_t clients_running_ = 0;
+  sim::Duration makespan_;
+  bool ran_ = false;
+};
+
+}  // namespace olympian::serving

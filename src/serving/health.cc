@@ -149,6 +149,7 @@ void HealthMonitor::Readmit(std::size_t gpu) {
   Device& d = *devices_[gpu];
   const sim::TimePoint now = env_.Now();
   d.stats.mttr_total += now - d.down_since;
+  d.stats.mttr_incidents.push_back(now - d.down_since);
   ++d.stats.readmissions;
   ++d.generation;  // invalidate leftover escalation timers from the episode
   if (counters_ != nullptr) ++counters_->device_readmissions;

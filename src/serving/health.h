@@ -80,6 +80,10 @@ class HealthMonitor : public HealthObserver {
     sim::Duration time_down;      // kDown + kRecovering, completed episodes
     sim::Duration time_degraded;  // completed kDegraded episodes
     sim::Duration mttr_total;     // sum of down -> readmitted intervals
+    // One entry per completed recovery (down -> readmitted), in episode
+    // order: the per-incident repair times behind mttr_total, so consumers
+    // can build a distribution (histogram / p95) instead of one average.
+    std::vector<sim::Duration> mttr_incidents;
   };
 
   HealthMonitor(sim::Environment& env, std::vector<gpusim::Gpu*> gpus,

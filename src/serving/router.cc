@@ -1,0 +1,184 @@
+#include "serving/router.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace olympian::serving {
+
+const char* ToString(ServerHealth h) {
+  switch (h) {
+    case ServerHealth::kHealthy:
+      return "healthy";
+    case ServerHealth::kDegraded:
+      return "degraded";
+    case ServerHealth::kDown:
+      return "down";
+    case ServerHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+Router::Router(sim::Environment& env, RouterTransport& transport,
+               std::size_t num_servers, RouterOptions options,
+               metrics::RouterCounters* counters,
+               metrics::MetricRegistry* registry)
+    : env_(env),
+      transport_(transport),
+      options_(options),
+      counters_(counters),
+      registry_(registry) {
+  if (num_servers < 1) throw std::invalid_argument("Router needs >= 1 server");
+  if (options_.down_after_errors < 1 || options_.recovery_successes < 1) {
+    throw std::invalid_argument(
+        "down_after_errors and recovery_successes must be >= 1");
+  }
+  servers_.resize(num_servers);
+}
+
+void Router::Start() {
+  if (started_) throw std::logic_error("Router::Start called twice");
+  started_ = true;
+  if (options_.probe_interval <= sim::Duration::Zero()) return;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    env_.Spawn(ProbeLoop(s), "router/probe-server" + std::to_string(s));
+  }
+}
+
+void Router::Stop() { stopped_ = true; }
+
+std::size_t Router::Route(std::size_t home) {
+  if (!options_.failover) return home;  // static pin baseline
+  if (Routable(home)) return home;
+  // Least-loaded over routable servers: healthy beats degraded, then fewest
+  // outstanding, then lowest index — a deterministic total order.
+  std::size_t best = kNoServer;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (!Routable(s)) continue;
+    if (best == kNoServer) {
+      best = s;
+      continue;
+    }
+    const ServerState& a = servers_[s];
+    const ServerState& b = servers_[best];
+    const int rank_a = a.health == ServerHealth::kHealthy ? 0 : 1;
+    const int rank_b = b.health == ServerHealth::kHealthy ? 0 : 1;
+    if (rank_a != rank_b ? rank_a < rank_b : a.outstanding < b.outstanding) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+void Router::OnRequestStart(std::size_t server) {
+  ++servers_.at(server).outstanding;
+  if (counters_ != nullptr) ++counters_->requests_routed;
+}
+
+void Router::OnRequestEnd(std::size_t server) {
+  --servers_.at(server).outstanding;
+}
+
+void Router::OnRequestSuccess(std::size_t server) {
+  // A served request proves liveness but says nothing about warm-up, so it
+  // clears the error streak without advancing the recovering hand-shake.
+  servers_.at(server).errors = 0;
+  if (servers_[server].health == ServerHealth::kDegraded) {
+    Transition(server, ServerHealth::kHealthy);
+  }
+}
+
+void Router::OnRequestError(std::size_t server) { OnResult(server, false); }
+
+bool Router::Routable(std::size_t server) const {
+  const ServerHealth h = servers_.at(server).health;
+  return (h == ServerHealth::kHealthy || h == ServerHealth::kDegraded) &&
+         transport_.HasUsableDevice(server);
+}
+
+ServerHealth Router::health(std::size_t server) const {
+  return servers_.at(server).health;
+}
+
+std::uint64_t Router::outstanding(std::size_t server) const {
+  return servers_.at(server).outstanding;
+}
+
+sim::Task Router::ProbeLoop(std::size_t server) {
+  for (;;) {
+    co_await env_.Delay(options_.probe_interval);
+    if (stopped_) co_return;
+    if (counters_ != nullptr) ++counters_->probes_sent;
+    bool ok = false;
+    co_await transport_.Probe(server, ok);
+    if (stopped_) co_return;
+    if (!ok && counters_ != nullptr) ++counters_->probe_failures;
+    OnResult(server, ok);
+  }
+}
+
+void Router::OnResult(std::size_t server, bool ok) {
+  ServerState& st = servers_.at(server);
+  if (ok) {
+    st.errors = 0;
+    switch (st.health) {
+      case ServerHealth::kHealthy:
+        break;
+      case ServerHealth::kDegraded:
+        Transition(server, ServerHealth::kHealthy);
+        break;
+      case ServerHealth::kDown:
+        st.successes = 1;
+        Transition(server, ServerHealth::kRecovering);
+        break;
+      case ServerHealth::kRecovering:
+        // Not routed until the warm-up hand-shake completes: the server must
+        // answer `recovery_successes` consecutive probes before traffic.
+        if (++st.successes >= options_.recovery_successes) {
+          mttr_incidents_.push_back(env_.Now() - st.down_since);
+          if (counters_ != nullptr) ++counters_->server_readmissions;
+          Transition(server, ServerHealth::kHealthy);
+        }
+        break;
+    }
+    return;
+  }
+  st.successes = 0;
+  ++st.errors;
+  switch (st.health) {
+    case ServerHealth::kDown:
+      break;
+    case ServerHealth::kRecovering:
+      // Relapse: same outage episode, so down_since is preserved and the
+      // eventual MTTR covers the whole incident.
+      Transition(server, ServerHealth::kDown);
+      break;
+    case ServerHealth::kHealthy:
+    case ServerHealth::kDegraded:
+      if (st.errors >= options_.down_after_errors) {
+        st.down_since = env_.Now();
+        if (counters_ != nullptr) ++counters_->server_down_events;
+        Transition(server, ServerHealth::kDown);
+      } else if (st.health == ServerHealth::kHealthy) {
+        Transition(server, ServerHealth::kDegraded);
+      }
+      break;
+  }
+}
+
+void Router::Transition(std::size_t server, ServerHealth to) {
+  ServerState& st = servers_[server];
+  if (st.health == to) return;
+  transitions_.push_back(ServerTransition{server, st.health, to, env_.Now()});
+  st.health = to;
+  if (counters_ != nullptr) ++counters_->server_transitions;
+  if (registry_ != nullptr) {
+    registry_
+        ->GetSeries("olympian_server_health",
+                    {{"server", std::to_string(server)}})
+        .Sample(env_.Now(), static_cast<double>(static_cast<int>(to)));
+  }
+}
+
+}  // namespace olympian::serving

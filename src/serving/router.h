@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/counters.h"
+#include "metrics/registry.h"
+#include "sim/environment.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace olympian::serving {
+
+// The router's view of one server. Mirrors DeviceHealth one level up: the
+// router cannot see inside a server, so its states are inferred from probe
+// heartbeats and per-request outcomes rather than device signals.
+enum class ServerHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded,    // >= 1 consecutive error, below the down threshold
+  kDown,        // consecutive errors reached the threshold
+  kRecovering,  // probes succeeding again after kDown; not yet routed
+};
+
+const char* ToString(ServerHealth h);
+
+struct RouterOptions {
+  // Health-aware routing with cross-server failover. Off = static pin: every
+  // request of a client goes to its home server no matter what (the
+  // no-failover baseline the cluster bench compares against).
+  bool failover = true;
+  // Heartbeat cadence per server (zero disables probing; the health view
+  // then moves only on request outcomes).
+  sim::Duration probe_interval = sim::Duration::Millis(20);
+  // Consecutive errors (probe or request) before a server is marked down.
+  int down_after_errors = 3;
+  // Consecutive probe successes a down server must string together before
+  // it is routed again (the recovering warm-up window).
+  int recovery_successes = 2;
+  // One-way router <-> server network latency.
+  sim::Duration net_delay = sim::Duration::Micros(200);
+  // How long the router waits on an unanswered probe or a request lost to a
+  // partition before declaring the attempt failed.
+  sim::Duration probe_timeout = sim::Duration::Millis(10);
+  // Client retry budget for genuine failures (failover re-admissions are
+  // free, mirroring the device-failover contract).
+  int max_retries = 2;
+  sim::Duration retry_backoff = sim::Duration::Millis(5);
+};
+
+// One edge of the router's per-server health state machine.
+struct ServerTransition {
+  std::size_t server = 0;
+  ServerHealth from = ServerHealth::kHealthy;
+  ServerHealth to = ServerHealth::kHealthy;
+  sim::TimePoint at;
+};
+
+// How the router reaches servers. Implemented by the Cluster, which knows
+// about partitions, crashes, and hangs; the Router only sees outcomes.
+class RouterTransport {
+ public:
+  virtual ~RouterTransport() = default;
+  // One heartbeat round-trip to `server`. Sets `ok` and returns after the
+  // RTT (success) or the probe timeout (failure).
+  virtual sim::Task Probe(std::size_t server, bool& ok) = 0;
+  // Does the server currently have any device accepting traffic? (The
+  // router-side fast path mirroring requests_rejected_no_device.)
+  virtual bool HasUsableDevice(std::size_t server) const = 0;
+};
+
+// Front-end request router: sticky-then-least-loaded placement over N
+// servers with a probe-driven health view. Single-writer state on the
+// deterministic event loop — no locking, fully reproducible.
+class Router {
+ public:
+  static constexpr std::size_t kNoServer = static_cast<std::size_t>(-1);
+
+  Router(sim::Environment& env, RouterTransport& transport,
+         std::size_t num_servers, RouterOptions options,
+         metrics::RouterCounters* counters,
+         metrics::MetricRegistry* registry = nullptr);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Spawn the per-server probe loops (no-op when probing is disabled).
+  void Start();
+  // Stop the probe loops so the shared event queue can drain.
+  void Stop();
+
+  // Pick a server for one request whose home is `home`. Sticky: the home
+  // wins while routable. Otherwise least-loaded among routable servers
+  // (healthy before degraded, then fewest outstanding, then lowest index).
+  // With failover off, always the home. kNoServer when nothing is routable.
+  std::size_t Route(std::size_t home);
+
+  // Outstanding accounting + health feedback from the request path.
+  void OnRequestStart(std::size_t server);
+  void OnRequestEnd(std::size_t server);
+  void OnRequestSuccess(std::size_t server);
+  void OnRequestError(std::size_t server);
+
+  bool Routable(std::size_t server) const;
+  ServerHealth health(std::size_t server) const;
+  std::uint64_t outstanding(std::size_t server) const;
+  std::size_t num_servers() const { return servers_.size(); }
+
+  // Every health edge, in order. The recovering->healthy edge count is the
+  // number of completed router-visible recoveries.
+  const std::vector<ServerTransition>& transitions() const {
+    return transitions_;
+  }
+  // One entry per completed recovery: down-mark to readmission (the
+  // router-side MTTR, which includes detection latency).
+  const std::vector<sim::Duration>& mttr_incidents() const {
+    return mttr_incidents_;
+  }
+
+ private:
+  struct ServerState {
+    ServerHealth health = ServerHealth::kHealthy;
+    int errors = 0;     // consecutive
+    int successes = 0;  // consecutive probe successes while recovering
+    std::uint64_t outstanding = 0;
+    sim::TimePoint down_since;
+  };
+
+  sim::Task ProbeLoop(std::size_t server);
+  void OnResult(std::size_t server, bool ok);
+  void Transition(std::size_t server, ServerHealth to);
+
+  sim::Environment& env_;
+  RouterTransport& transport_;
+  RouterOptions options_;
+  metrics::RouterCounters* counters_;
+  metrics::MetricRegistry* registry_;
+  std::vector<ServerState> servers_;
+  std::vector<ServerTransition> transitions_;
+  std::vector<sim::Duration> mttr_incidents_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace olympian::serving

@@ -11,7 +11,17 @@ int ClientResult::CountStatus(RequestStatus s) const {
   return n;
 }
 
-Experiment::Experiment(ServerOptions options) : options_(std::move(options)) {
+Experiment::Experiment(ServerOptions options)
+    : Experiment(std::move(options), static_cast<sim::Environment*>(nullptr)) {}
+
+Experiment::Experiment(ServerOptions options, sim::Environment& env)
+    : Experiment(std::move(options), &env) {}
+
+Experiment::Experiment(ServerOptions options, sim::Environment* env)
+    : options_(std::move(options)),
+      owned_env_(env == nullptr ? std::make_unique<sim::Environment>()
+                                : nullptr),
+      env_(env == nullptr ? *owned_env_ : *env) {
   if (options_.num_gpus < 1) {
     throw std::invalid_argument("num_gpus must be >= 1");
   }
@@ -183,10 +193,14 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
   const std::uint64_t rid = ++next_request_id_;
   int flow_hops = 0;                              // executed admissions so far
   std::int64_t flow_track = primary_ctx.job;      // track of the winning leg
-  const auto end_flow = [&] {
+  // Why the *next* admission hop happens (failover / retry / reroute);
+  // rendered as the kStep's args.reason so a trace shows why a leg ended
+  // and another began instead of a bare arrow.
+  const char* hop_detail = nullptr;
+  const auto end_flow = [&](const char* why) {
     if (tracer != nullptr && flow_hops > 0) {
       tracer->AddFlow(metrics::Tracer::FlowPhase::kEnd, "request", "req-", rid,
-                      flow_track, env_.Now());
+                      flow_track, env_.Now(), why);
     }
   };
 
@@ -194,7 +208,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
     if (has_deadline && env_.Now() >= deadline) {
       status = RequestStatus::kTimedOut;
       ++counters_.requests_timed_out;
-      end_flow();
+      end_flow("deadline");
       co_return;
     }
     // Admission control: shed instead of stalling when the pool is already
@@ -207,7 +221,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         ++counters_.requests_shed;
         ++counters_.requests_rejected;
         status = RequestStatus::kRejected;
-        end_flow();
+        end_flow("rejected");
         co_await env_.Delay(deg.reject_backoff);
         co_return;
       }
@@ -216,7 +230,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       ++counters_.breaker_rejections;
       ++counters_.requests_rejected;
       status = RequestStatus::kRejected;
-      end_flow();
+      end_flow("rejected");
       co_await env_.Delay(deg.reject_backoff);
       co_return;
     }
@@ -233,7 +247,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         ++counters_.requests_rejected_no_device;
         ++counters_.requests_rejected;
         status = RequestStatus::kRejected;
-        end_flow();
+        end_flow("rejected");
         co_await env_.Delay(deg.reject_backoff);
         co_return;
       }
@@ -248,25 +262,31 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         if (attempt > deg.retry.max_retries) {
           status = RequestStatus::kFailed;
           ++counters_.requests_failed;
-          end_flow();
+          end_flow("failed");
           co_return;
         }
         ++counters_.retries;
         ++attempt;
+        hop_detail = "retry";
         co_await env_.Delay(deg.reject_backoff);
         continue;
       }
       ctx = ClientContext(client_index, gpu_index);
-      if (!health_->Usable(gpu_index)) continue;  // went down while loading
+      if (!health_->Usable(gpu_index)) {
+        hop_detail = "reroute";
+        continue;  // went down while loading
+      }
       if (ctx->cancel != nullptr) {
         // A draining hedge of a previous request still owns this context;
         // let it finish (it was cancelled, so it drains fast).
+        hop_detail = "reroute";
         co_await env_.Delay(deg.reject_backoff);
         continue;
       }
     }
 
     bool failed = false;
+    bool hedge_won = false;
     graph::CancelReason reason = graph::CancelReason::kNone;
     if (gpus_[gpu_index]->alloc_fault_active()) {
       // Workspace allocation fails up front during an alloc-fault window — a
@@ -301,9 +321,11 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
                                    ctx->job, env_.Now());
         tracer->AddFlow(flow_hops == 0 ? metrics::Tracer::FlowPhase::kBegin
                                        : metrics::Tracer::FlowPhase::kStep,
-                        "request", "req-", rid, ctx->job, env_.Now());
+                        "request", "req-", rid, ctx->job, env_.Now(),
+                        flow_hops == 0 ? nullptr : hop_detail);
       }
       ++flow_hops;
+      hop_detail = nullptr;
       flow_track = ctx->job;
       auto token = std::make_shared<graph::CancelToken>();
       ctx->cancel = token.get();
@@ -345,6 +367,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
           if (hedge->won) {
             ++counters_.hedge_wins;
             failed = false;
+            hedge_won = true;
             reason = graph::CancelReason::kNone;
             // The hedge's leg is the one that produced the response; the
             // flow terminates on its track.
@@ -363,7 +386,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         status = RequestStatus::kFailedRetried;
         ++counters_.requests_retried_ok;
       }
-      end_flow();
+      end_flow(hedge_won ? "hedge-win" : attempt == 1 ? "ok" : "ok-retried");
       co_return;
     }
     if (reason == graph::CancelReason::kDeadline) {
@@ -371,7 +394,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       status = RequestStatus::kTimedOut;
       ++counters_.requests_timed_out;
       ++counters_.deadline_cancellations;
-      end_flow();
+      end_flow("deadline");
       co_return;
     }
     if (failover && (reason == graph::CancelReason::kFailover ||
@@ -381,6 +404,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       // to the device, not the request. (The Usable check also catches a
       // kernel failure that raced ahead of the down transition.)
       ++counters_.requests_failed_over;
+      hop_detail = graph::ToString(graph::CancelReason::kFailover);
       continue;
     }
     if (reason == graph::CancelReason::kKernelFailed) {
@@ -392,7 +416,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
     if (attempt > deg.retry.max_retries) {
       status = RequestStatus::kFailed;
       ++counters_.requests_failed;
-      end_flow();
+      end_flow("failed");
       co_return;
     }
     ++counters_.retries;
@@ -404,10 +428,13 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       // The backoff alone would blow the deadline; give up now.
       status = RequestStatus::kTimedOut;
       ++counters_.requests_timed_out;
-      end_flow();
+      end_flow("deadline");
       co_return;
     }
     ++attempt;
+    hop_detail = reason == graph::CancelReason::kKernelFailed
+                     ? graph::ToString(reason)
+                     : "retry";
     co_await env_.Delay(backoff);
   }
 }
@@ -561,7 +588,7 @@ sim::Task Experiment::HedgeProc(std::size_t client_index,
   if (metrics::Tracer* const tracer = options_.executor.tracer;
       tracer != nullptr && st->request_id != 0) {
     tracer->AddFlow(metrics::Tracer::FlowPhase::kStep, "request", "req-",
-                    st->request_id, ctx->job, env_.Now());
+                    st->request_id, ctx->job, env_.Now(), "hedge");
   }
   auto token = std::make_shared<graph::CancelToken>();
   ctx->cancel = token.get();
@@ -603,41 +630,129 @@ void Experiment::DeregisterInFlight(std::size_t gpu,
   }
 }
 
+void Experiment::BindExecutors() {
+  for (std::size_t i = 0; i < gpus_.size(); ++i) executor(i);  // bind hooks
+}
+
+void Experiment::SetupFailover(std::size_t expected_clients) {
+  // Stand up the failover subsystem before traffic or faults: listeners
+  // must be attached when the first device signal fires.
+  std::vector<gpusim::Gpu*> gpu_ptrs;
+  gpu_ptrs.reserve(gpus_.size());
+  for (const auto& g : gpus_) gpu_ptrs.push_back(g.get());
+  HealthObserver* observer = this;  // private base: convert in-class
+  health_ = std::make_unique<HealthMonitor>(
+      env_, std::move(gpu_ptrs), options_.failover.health,
+      options_.failover.recovery, observer, &counters_,
+      options_.executor.tracer);
+  placer_ = std::make_unique<Placer>(env_, *health_, gpus_.size());
+  inflight_.resize(gpus_.size());
+  health_->Start();
+  remaining_clients_ = expected_clients;
+}
+
+void Experiment::ArmFaults() {
+  // Arm the fault schedule before any client starts, so an event at t=0
+  // still lands. All faults fire on the virtual clock: a run with the same
+  // seed and plan is bit-for-bit reproducible.
+  if (options_.faults.events().empty()) return;
+  std::vector<gpusim::Gpu*> gpu_ptrs;
+  gpu_ptrs.reserve(gpus_.size());
+  for (const auto& g : gpus_) gpu_ptrs.push_back(g.get());
+  injector_ = std::make_unique<fault::FaultInjector>(
+      env_, std::move(gpu_ptrs), options_.faults, &counters_,
+      options_.executor.tracer);
+  injector_->Arm();
+}
+
+void Experiment::StartServing() {
+  if (ran_) {
+    throw std::logic_error(
+        "StartServing: experiment already ran (Run and StartServing are "
+        "exclusive)");
+  }
+  ran_ = true;
+  serving_ = true;
+  BindExecutors();
+  // Tenants arrive one at a time, so the last-client-out bookkeeping that
+  // stops the probe loops does not apply; the cluster calls StopServing.
+  if (options_.failover.enabled) SetupFailover(0);
+  ArmFaults();
+}
+
+std::size_t Experiment::AddTenant(const ClientSpec& spec) {
+  if (!serving_) throw std::logic_error("AddTenant before StartServing");
+  const std::size_t index = tenants_.size();
+  const std::size_t gpu_index = index % gpus_.size();  // round-robin placement
+  const graph::Graph& g = LoadModel(spec.model, gpu_index);
+  const models::ModelSpec& mspec = models::GetModel(spec.model);
+
+  auto ctx = std::make_unique<graph::JobContext>();
+  ctx->job = next_job_id_++;
+  ctx->client_name = spec.model + "#" + std::to_string(index);
+  ctx->model_key = models::ModelKey(spec.model, spec.batch);
+  ctx->batch = spec.batch;
+  ctx->weight = spec.weight;
+  ctx->priority = spec.priority;
+  ctx->min_share = spec.min_share;
+  ctx->gpu_index = static_cast<int>(gpu_index);
+  for (int s = 0; s < options_.streams_per_job; ++s) {
+    ctx->streams.push_back(gpus_[gpu_index]->CreateStream());
+  }
+  gpus_[gpu_index]->AllocateMemory(ctx->job, mspec.ClientMemoryMb(spec.batch));
+
+  if (placer_ != nullptr) {
+    placer_->MarkReady(gpu_index, spec.model);
+    client_gpu_ctx_[{index, gpu_index}] = ctx.get();
+  }
+  tenants_.push_back(Tenant{spec, ctx.get(), &g, gpu_index});
+  contexts_.push_back(std::move(ctx));
+  return index;
+}
+
+sim::Task Experiment::ServeTenantRequest(std::size_t tenant, sim::Rng& rng,
+                                         sim::TimePoint arrival,
+                                         RequestStatus& status) {
+  Tenant& t = tenants_.at(tenant);
+  // The tenant index doubles as the client index for client_gpu_ctx_ keys,
+  // so failover replicas are shared across all of the tenant's requests.
+  co_await RunRequest(tenant, *t.ctx, *t.graph, t.spec, rng, arrival,
+                      t.primary_gpu, status);
+}
+
+void Experiment::RetireTenant(std::size_t tenant) {
+  Tenant& t = tenants_.at(tenant);
+  if (health_ != nullptr) {
+    for (const auto& [key, c] : client_gpu_ctx_) {
+      if (key.first == tenant) gpus_[key.second]->RetireJob(c->job);
+    }
+  } else {
+    gpus_[t.primary_gpu]->RetireJob(t.ctx->job);
+  }
+}
+
+void Experiment::StopServing() {
+  if (health_ != nullptr) health_->Stop();
+}
+
+void Experiment::ShutdownPool() { pool_->Shutdown(); }
+
+bool Experiment::AnyUsableDevice() const {
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    if (health_ != nullptr ? health_->Usable(g) : !gpus_[g]->down()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<ClientResult> Experiment::Run(
     const std::vector<ClientSpec>& clients) {
   if (ran_) throw std::logic_error("Experiment::Run may only be called once");
   ran_ = true;
-  for (std::size_t i = 0; i < gpus_.size(); ++i) executor(i);  // bind hooks
-
-  // Stand up the failover subsystem before traffic or faults: listeners
-  // must be attached when the first device signal fires.
-  if (options_.failover.enabled) {
-    std::vector<gpusim::Gpu*> gpu_ptrs;
-    gpu_ptrs.reserve(gpus_.size());
-    for (const auto& g : gpus_) gpu_ptrs.push_back(g.get());
-    HealthObserver* observer = this;  // private base: convert in-class
-    health_ = std::make_unique<HealthMonitor>(
-        env_, std::move(gpu_ptrs), options_.failover.health,
-        options_.failover.recovery, observer, &counters_,
-        options_.executor.tracer);
-    placer_ = std::make_unique<Placer>(env_, *health_, gpus_.size());
-    inflight_.resize(gpus_.size());
-    health_->Start();
-    remaining_clients_ = clients.size();
-  }
-
-  // Arm the fault schedule before any client starts, so an event at t=0
-  // still lands. All faults fire on the virtual clock: a run with the same
-  // seed and plan is bit-for-bit reproducible.
-  if (!options_.faults.events().empty()) {
-    std::vector<gpusim::Gpu*> gpu_ptrs;
-    gpu_ptrs.reserve(gpus_.size());
-    for (const auto& g : gpus_) gpu_ptrs.push_back(g.get());
-    injector_ = std::make_unique<fault::FaultInjector>(
-        env_, std::move(gpu_ptrs), options_.faults, &counters_,
-        options_.executor.tracer);
-    injector_->Arm();
-  }
+  BindExecutors();
+  if (options_.failover.enabled) SetupFailover(clients.size());
+  ArmFaults();
 
   std::vector<ClientResult> results(clients.size());
   std::vector<sim::Process> procs;

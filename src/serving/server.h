@@ -153,6 +153,10 @@ struct ClientResult {
 class Experiment : private HealthObserver {
  public:
   explicit Experiment(ServerOptions options);
+  // Cluster form: run on a caller-owned Environment so several servers
+  // share one virtual clock. `env` must outlive the experiment. Everything
+  // else — devices, pool, executors, failover — stays per-server.
+  Experiment(ServerOptions options, sim::Environment& env);
   ~Experiment() override;
 
   Experiment(const Experiment&) = delete;
@@ -197,6 +201,38 @@ class Experiment : private HealthObserver {
   // gpusim::OutOfDeviceMemory if activations do not fit.
   std::vector<ClientResult> Run(const std::vector<ClientSpec>& clients);
 
+  // --- cluster serving API ------------------------------------------------
+  // A Cluster drives N Experiments on one shared Environment through this
+  // surface instead of Run(): stand the server up once, register tenants
+  // (the cluster's clients, one slot per client that ever lands here), and
+  // issue individual requests through the full RunRequest pipeline
+  // (admission, breaker, health-aware placement, retries, device failover).
+  //
+  // StartServing = the setup Run() performs before spawning clients (bind
+  // executors, stand up failover, arm the device-fault schedule); it marks
+  // the experiment as running, so Run() and StartServing are exclusive.
+  void StartServing();
+  // Register one tenant: loads the model, creates its JobContext on the
+  // next round-robin home device, and allocates activation memory — exactly
+  // the per-client setup Run() performs. Returns the tenant index.
+  std::size_t AddTenant(const ClientSpec& spec);
+  // One request of tenant `tenant` through the RunRequest pipeline.
+  // `arrival` anchors the deadline; `status` receives the terminal outcome.
+  sim::Task ServeTenantRequest(std::size_t tenant, sim::Rng& rng,
+                               sim::TimePoint arrival, RequestStatus& status);
+  // Fold a tenant's meters into the retired table (call when its client
+  // finishes, mirroring ClientProc's retirement).
+  void RetireTenant(std::size_t tenant);
+  // Stop the health monitor's probe loops so the shared event queue can
+  // drain once traffic ends.
+  void StopServing();
+  // Shut the thread pool down (exiting workers drain on the next env run).
+  void ShutdownPool();
+  // Server-level health aggregate for the router: does any device accept
+  // traffic right now?
+  bool AnyUsableDevice() const;
+  std::size_t num_tenants() const { return tenants_.size(); }
+
   // Post-run metrics.
   sim::Duration makespan() const { return makespan_; }
   // nvidia-smi-style utilization: GPU-busy fraction of the makespan.
@@ -231,6 +267,14 @@ class Experiment : private HealthObserver {
     std::int32_t attempt = 0;
     sim::CondVar cv;
   };
+
+  Experiment(ServerOptions options, sim::Environment* env);
+
+  // Run() setup stages, also used piecewise by the cluster API (pure code
+  // motion out of Run so the single-server event sequence is unchanged).
+  void BindExecutors();
+  void SetupFailover(std::size_t expected_clients);
+  void ArmFaults();
 
   sim::Task ClientProc(std::size_t client_index, graph::JobContext& ctx,
                        const graph::Graph& g, ClientSpec spec,
@@ -272,7 +316,11 @@ class Experiment : private HealthObserver {
   void DeregisterInFlight(std::size_t gpu, const graph::CancelToken* token);
 
   ServerOptions options_;
-  sim::Environment env_;
+  // Owned in the standalone case, absent in the cluster case; env_ is the
+  // single source of truth either way. Declared before env_ so the
+  // reference binds to a constructed object.
+  std::unique_ptr<sim::Environment> owned_env_;
+  sim::Environment& env_;
   std::vector<std::unique_ptr<gpusim::Gpu>> gpus_;
   std::unique_ptr<graph::ThreadPool> pool_;
   std::vector<std::unique_ptr<graph::Executor>> executors_;
@@ -305,6 +353,16 @@ class Experiment : private HealthObserver {
   // Clients still running; the last one out stops the health monitor's
   // probe loops so the event queue can drain.
   std::size_t remaining_clients_ = 0;
+
+  // --- cluster serving state ---------------------------------------------
+  struct Tenant {
+    ClientSpec spec;
+    graph::JobContext* ctx = nullptr;  // home-device context
+    const graph::Graph* graph = nullptr;
+    std::size_t primary_gpu = 0;
+  };
+  std::vector<Tenant> tenants_;
+  bool serving_ = false;  // StartServing ran (cluster mode)
 
   // --- observability state ------------------------------------------------
   // Monotonic request-id source; every admission (retry, failover, hedge)

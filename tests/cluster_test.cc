@@ -1,0 +1,404 @@
+// Tests for the cluster serving layer: the front-end router's health state
+// machine, sticky-then-least-loaded routing, cross-server failover under
+// crashes and partitions, open-loop arrival generators, and determinism of
+// the whole stack across repeats.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "serving/arrivals.h"
+#include "serving/cluster.h"
+#include "serving/router.h"
+#include "serving/server.h"
+#include "sim/environment.h"
+#include "sim/random.h"
+
+namespace olympian {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint At(double ms) { return TimePoint() + Duration::Seconds(ms / 1e3); }
+
+serving::ClusterClientSpec PoissonClient(const std::string& model,
+                                         double rate_rps, int requests) {
+  serving::ClusterClientSpec spec;
+  spec.request.model = model;
+  spec.request.batch = 10;
+  spec.request.num_batches = requests;
+  spec.arrivals.kind = serving::ArrivalSpec::Kind::kPoisson;
+  spec.arrivals.rate_rps = rate_rps;
+  return spec;
+}
+
+serving::ClusterOptions SmallCluster(std::size_t num_servers) {
+  serving::ClusterOptions opts;
+  opts.num_servers = num_servers;
+  opts.server.num_gpus = 1;
+  opts.server.pool_threads = 100;
+  return opts;
+}
+
+int CountAll(const std::vector<serving::ClusterClientResult>& results,
+             serving::RequestStatus s) {
+  int n = 0;
+  for (const auto& r : results) n += r.CountStatus(s);
+  return n;
+}
+
+int ServedAll(const std::vector<serving::ClusterClientResult>& results) {
+  int n = 0;
+  for (const auto& r : results) n += r.requests_completed;
+  return n;
+}
+
+int TotalAll(const std::vector<serving::ClusterClientResult>& results) {
+  int n = 0;
+  for (const auto& r : results) n += static_cast<int>(r.request_status.size());
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Router unit tests (fake transport; no servers involved).
+
+struct FakeTransport final : serving::RouterTransport {
+  explicit FakeTransport(sim::Environment& e) : env(e) {}
+  sim::Task Probe(std::size_t server, bool& ok) override {
+    (void)server;
+    co_await env.Delay(Duration::Micros(100));
+    ok = probe_ok;
+  }
+  bool HasUsableDevice(std::size_t server) const override {
+    (void)server;
+    return usable;
+  }
+  sim::Environment& env;
+  bool probe_ok = true;
+  bool usable = true;
+};
+
+TEST(RouterTest, ConsecutiveProbeFailuresMarkServerDown) {
+  sim::Environment env;
+  FakeTransport transport(env);
+  serving::RouterOptions ro;
+  ro.probe_interval = Duration::Millis(1);
+  ro.down_after_errors = 2;
+  serving::Router router(env, transport, 2, ro, nullptr);
+  router.Start();
+
+  transport.probe_ok = false;
+  env.RunUntil(At(2.5));  // two failed probes per server
+  EXPECT_EQ(router.health(0), serving::ServerHealth::kDown);
+  EXPECT_EQ(router.health(1), serving::ServerHealth::kDown);
+  EXPECT_EQ(router.Route(0), serving::Router::kNoServer);
+  router.Stop();
+  env.Run();
+}
+
+// The satellite edge case: a probe landing while the server is recovering
+// must NOT readmit it early. The server takes no traffic until the warm-up
+// hand-shake (recovery_successes consecutive probe successes) completes,
+// and the transition log records recovering -> healthy exactly once.
+TEST(RouterTest, ProbeDuringRecoveringDoesNotReadmitEarly) {
+  sim::Environment env;
+  FakeTransport transport(env);
+  serving::RouterOptions ro;
+  ro.probe_interval = Duration::Millis(1);
+  ro.down_after_errors = 2;
+  ro.recovery_successes = 3;
+  serving::Router router(env, transport, 2, ro, nullptr);
+  router.Start();
+
+  transport.probe_ok = false;
+  env.RunUntil(At(2.5));
+  ASSERT_EQ(router.health(0), serving::ServerHealth::kDown);
+
+  transport.probe_ok = true;
+  env.RunUntil(At(3.5));  // first success: down -> recovering
+  ASSERT_EQ(router.health(0), serving::ServerHealth::kRecovering);
+  EXPECT_FALSE(router.Routable(0));
+  EXPECT_EQ(router.Route(0), serving::Router::kNoServer);
+
+  env.RunUntil(At(4.5));  // second success lands during recovering
+  EXPECT_EQ(router.health(0), serving::ServerHealth::kRecovering)
+      << "a probe success during recovering must not readmit before the "
+         "warm-up hand-shake completes";
+  EXPECT_FALSE(router.Routable(0));
+
+  env.RunUntil(At(6.0));  // third success completes the hand-shake
+  EXPECT_EQ(router.health(0), serving::ServerHealth::kHealthy);
+  EXPECT_TRUE(router.Routable(0));
+
+  int recovering_to_healthy = 0;
+  for (const auto& t : router.transitions()) {
+    if (t.server == 0 && t.from == serving::ServerHealth::kRecovering &&
+        t.to == serving::ServerHealth::kHealthy) {
+      ++recovering_to_healthy;
+    }
+  }
+  EXPECT_EQ(recovering_to_healthy, 1);
+  // Router-side MTTR covers the whole incident: down-mark to readmission.
+  ASSERT_GE(router.mttr_incidents().size(), 1u);
+  EXPECT_GT(router.mttr_incidents()[0], Duration::Millis(2));
+  router.Stop();
+  env.Run();
+}
+
+TEST(RouterTest, RelapseDuringRecoveryKeepsOneIncident) {
+  sim::Environment env;
+  FakeTransport transport(env);
+  serving::RouterOptions ro;
+  ro.probe_interval = Duration::Millis(1);
+  ro.down_after_errors = 1;
+  ro.recovery_successes = 2;
+  serving::Router router(env, transport, 1, ro, nullptr);
+  router.Start();
+
+  transport.probe_ok = false;
+  env.RunUntil(At(1.5));
+  ASSERT_EQ(router.health(0), serving::ServerHealth::kDown);
+  transport.probe_ok = true;
+  env.RunUntil(At(2.5));
+  ASSERT_EQ(router.health(0), serving::ServerHealth::kRecovering);
+  transport.probe_ok = false;  // relapse before the hand-shake completes
+  env.RunUntil(At(3.5));
+  ASSERT_EQ(router.health(0), serving::ServerHealth::kDown);
+  transport.probe_ok = true;
+  env.RunUntil(At(6.0));
+  ASSERT_EQ(router.health(0), serving::ServerHealth::kHealthy);
+  // One outage episode, one MTTR incident, spanning the relapse.
+  EXPECT_EQ(router.mttr_incidents().size(), 1u);
+  EXPECT_GT(router.mttr_incidents()[0], Duration::Millis(3));
+  router.Stop();
+  env.Run();
+}
+
+TEST(RouterTest, StickyThenLeastLoadedRouting) {
+  sim::Environment env;
+  FakeTransport transport(env);
+  serving::RouterOptions ro;
+  ro.probe_interval = Duration::Zero();  // no probes; drive by hand
+  serving::Router router(env, transport, 3, ro, nullptr);
+  router.Start();
+
+  // Sticky: the home wins while routable, regardless of load.
+  router.OnRequestStart(0);
+  router.OnRequestStart(0);
+  EXPECT_EQ(router.Route(0), 0u);
+  // Home down: least-loaded routable server wins; ties break on index.
+  for (int i = 0; i < 3; ++i) router.OnRequestError(0);
+  ASSERT_EQ(router.health(0), serving::ServerHealth::kDown);
+  router.OnRequestStart(1);
+  EXPECT_EQ(router.Route(0), 2u);  // server 2 has 0 outstanding, 1 has 1
+  router.OnRequestStart(2);
+  router.OnRequestStart(2);
+  EXPECT_EQ(router.Route(0), 1u);
+  router.Stop();
+  env.Run();
+}
+
+// ---------------------------------------------------------------------------
+// Arrival generator tests.
+
+TEST(ArrivalsTest, PoissonGapsAreReproducibleAndPositive) {
+  serving::ArrivalSpec spec;
+  spec.kind = serving::ArrivalSpec::Kind::kPoisson;
+  spec.rate_rps = 200.0;
+  serving::ArrivalProcess a(spec);
+  serving::ArrivalProcess b(spec);
+  sim::Rng ra(42), rb(42);
+  TimePoint prev;
+  for (int i = 0; i < 200; ++i) {
+    const TimePoint ta = a.Next(ra);
+    EXPECT_EQ(ta, b.Next(rb));
+    EXPECT_GT(ta, prev);
+    prev = ta;
+  }
+  // 200 draws at 200 rps land around t=1s (loose 3x bounds).
+  EXPECT_GT(prev, TimePoint() + Duration::Seconds(0.33));
+  EXPECT_LT(prev, TimePoint() + Duration::Seconds(3.0));
+}
+
+TEST(ArrivalsTest, TraceRateModulatesDensity) {
+  // Rate 1000 rps in even seconds, 0 in odd seconds: every arrival must
+  // land inside an even-second phase.
+  serving::ArrivalSpec spec;
+  spec.kind = serving::ArrivalSpec::Kind::kTrace;
+  spec.rate_rps = 1000.0;
+  spec.rate_trace = {1.0, 0.0};
+  spec.phase = Duration::Seconds(1.0);
+  serving::ArrivalProcess a(spec);
+  sim::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const TimePoint t = a.Next(rng);
+    const std::int64_t sec = t.nanos() / 1000000000;
+    EXPECT_EQ(sec % 2, 0) << "arrival in a zero-rate phase at " << t.nanos();
+  }
+}
+
+TEST(ArrivalsTest, MmppAlternatesRates) {
+  serving::ArrivalSpec spec;
+  spec.kind = serving::ArrivalSpec::Kind::kMmpp;
+  spec.mmpp_rate_low = 10.0;
+  spec.mmpp_rate_high = 1000.0;
+  spec.mmpp_dwell_low = Duration::Seconds(0.5);
+  spec.mmpp_dwell_high = Duration::Seconds(0.5);
+  serving::ArrivalProcess a(spec);
+  sim::Rng rng(11);
+  TimePoint prev;
+  int n = 0;
+  TimePoint last;
+  for (; n < 2000 && last < TimePoint() + Duration::Seconds(10.0); ++n) {
+    last = a.Next(rng);
+    EXPECT_GE(last, prev);
+    prev = last;
+  }
+  // Mean rate ~505 rps: 10 simulated seconds must produce far more than the
+  // low rate alone and far fewer than the high rate alone would.
+  EXPECT_GT(n, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster end-to-end tests.
+
+TEST(ClusterTest, FaultFreeClusterServesEveryRequest) {
+  serving::ClusterOptions opts = SmallCluster(2);
+  serving::Cluster cluster(opts);
+  std::vector<serving::ClusterClientSpec> clients(
+      4, PoissonClient("googlenet", 200.0, 6));
+  const auto results = cluster.Run(clients);
+  EXPECT_EQ(ServedAll(results), TotalAll(results));
+  EXPECT_EQ(cluster.counters().requests_ok, 24u);
+  EXPECT_EQ(cluster.counters().requests_failed_over, 0u);
+  // No faults: the router's health view never leaves healthy.
+  EXPECT_TRUE(cluster.router().transitions().empty());
+  // Requests stayed home (sticky routing): no lazy tenant instantiation.
+  EXPECT_EQ(cluster.counters().tenant_instantiations, 0u);
+}
+
+TEST(ClusterTest, CrashFailoverServesThroughOutage) {
+  serving::ClusterOptions opts = SmallCluster(3);
+  opts.faults.Crash(At(30), Duration::Millis(80), /*server=*/0);
+  serving::Cluster cluster(opts);
+  std::vector<serving::ClusterClientSpec> clients(
+      6, PoissonClient("googlenet", 150.0, 25));
+  const auto results = cluster.Run(clients);
+  // Every request lands despite the crash: victims re-admit on survivors.
+  EXPECT_EQ(ServedAll(results), TotalAll(results));
+  EXPECT_EQ(CountAll(results, serving::RequestStatus::kFailed), 0);
+  EXPECT_EQ(CountAll(results, serving::RequestStatus::kRejected), 0);
+  EXPECT_EQ(cluster.counters().server_crashes, 1u);
+  EXPECT_GT(cluster.counters().requests_failed_over, 0u);
+  // Failover re-admissions are free: no budgeted retries were consumed by
+  // the crash (the in-server device pipeline rejects promptly).
+  EXPECT_EQ(cluster.counters().retries, 0u);
+  // The crashed server's home clients had tenants instantiated elsewhere.
+  EXPECT_GT(cluster.counters().tenant_instantiations, 0u);
+  // The router saw the server go down.
+  EXPECT_GE(cluster.counters().server_down_events, 1u);
+}
+
+TEST(ClusterTest, StaticRoutingBaselineDegradesUnderCrash) {
+  serving::ClusterOptions opts = SmallCluster(3);
+  opts.router.failover = false;  // static pin: no failover, budget retries only
+  opts.faults.Crash(At(30), Duration::Millis(80), /*server=*/0);
+  serving::Cluster cluster(opts);
+  std::vector<serving::ClusterClientSpec> clients(
+      6, PoissonClient("googlenet", 150.0, 25));
+  const auto results = cluster.Run(clients);
+  // Clients homed on server 0 lose requests issued during the outage.
+  EXPECT_LT(ServedAll(results), TotalAll(results));
+  EXPECT_GT(CountAll(results, serving::RequestStatus::kRejected) +
+                CountAll(results, serving::RequestStatus::kFailed),
+            0);
+  EXPECT_EQ(cluster.counters().requests_failed_over, 0u);
+  // Clients homed on the surviving servers are unaffected.
+  for (const auto& r : results) {
+    if (r.home_server != 0) {
+      EXPECT_EQ(r.requests_completed,
+                static_cast<int>(r.request_status.size()))
+          << r.name;
+    }
+  }
+}
+
+TEST(ClusterTest, PartitionDropsTrafficThenFailsOver) {
+  serving::ClusterOptions opts = SmallCluster(2);
+  // A request is ~140ms at this sim's scale, so the window must span
+  // several requests: sends into the partition are dropped until the
+  // router marks the server down, and the heal leaves time to readmit.
+  opts.faults.Partition(At(200), Duration::Millis(1200), /*server=*/0,
+                        fault::PartitionDirection::kToServer);
+  // Slow down-marking (6 errors at ~30ms probe cadence ≈ 180ms — more than
+  // one request period) so at least one request is *sent* into the
+  // partition while the server is still routable, exercising the lost-leg
+  // path rather than only the probe path.
+  opts.router.down_after_errors = 6;
+  serving::Cluster cluster(opts);
+  std::vector<serving::ClusterClientSpec> clients(
+      4, PoissonClient("googlenet", 150.0, 20));
+  const auto results = cluster.Run(clients);
+  EXPECT_EQ(ServedAll(results), TotalAll(results));
+  EXPECT_GT(cluster.counters().requests_lost_to_server, 0u);
+  EXPECT_GT(cluster.counters().requests_failed_over, 0u);
+  EXPECT_GT(cluster.counters().probe_failures, 0u);
+  // The partition healed: the router readmitted the server.
+  EXPECT_GE(cluster.counters().server_readmissions, 1u);
+}
+
+TEST(ClusterTest, DeterministicAcrossRepeats) {
+  const auto run = [] {
+    serving::ClusterOptions opts = SmallCluster(3);
+    opts.seed = 17;
+    opts.faults.Crash(At(25), Duration::Millis(60), /*server=*/1);
+    opts.faults.Partition(At(60), Duration::Millis(30), /*server=*/2,
+                          fault::PartitionDirection::kBoth);
+    serving::Cluster cluster(opts);
+    std::vector<serving::ClusterClientSpec> clients(
+        5, PoissonClient("googlenet", 120.0, 12));
+    return std::make_pair(cluster.Run(clients),
+                          cluster.counters().requests_total());
+  };
+  const auto [a, total_a] = run();
+  const auto [b, total_b] = run();
+  EXPECT_EQ(total_a, total_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].finish_time, b[i].finish_time) << a[i].name;
+    ASSERT_EQ(a[i].request_latency_ms, b[i].request_latency_ms) << a[i].name;
+    ASSERT_EQ(a[i].request_status.size(), b[i].request_status.size());
+    for (std::size_t r = 0; r < a[i].request_status.size(); ++r) {
+      EXPECT_EQ(a[i].request_status[r], b[i].request_status[r]);
+    }
+  }
+}
+
+TEST(ClusterTest, RandomServerFaultPlanIsSeedStable) {
+  fault::ServerFaultPlan::RandomOptions ro;
+  ro.num_servers = 4;
+  ro.expected_crashes = 2.0;
+  ro.expected_hangs = 1.0;
+  ro.expected_partitions = 2.0;
+  const auto a = fault::ServerFaultPlan::Random(ro, 99);
+  const auto b = fault::ServerFaultPlan::Random(ro, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].server, b.events()[i].server);
+    EXPECT_EQ(a.events()[i].duration, b.events()[i].duration);
+  }
+  // Sorted by time, servers in range.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a.events()[i - 1].at, a.events()[i].at);
+  }
+  for (const auto& e : a.events()) EXPECT_LT(e.server, 4u);
+}
+
+}  // namespace
+}  // namespace olympian

@@ -154,6 +154,58 @@ TEST(FailoverTest, RecoveryReadmitsDeviceAfterOutage) {
   EXPECT_TRUE(readmitted);
 }
 
+// The recovering edge, device level: heartbeat probes land while the device
+// is in kRecovering (the driver is back up, so they succeed), but none may
+// readmit it early — only the recovery pipeline's warm-up hand-shake does,
+// and the transition log records kRecovering -> kHealthy exactly once.
+TEST(FailoverTest, ProbeDuringDeviceRecoveringDoesNotReadmitEarly) {
+  sim::Environment env;
+  gpusim::Gpu gpu(env, gpusim::Gpu::Options{});
+  serving::HealthMonitorOptions hopts;
+  hopts.probe_interval = Duration::Millis(1);
+  const fault::RecoveryOptions rec;  // 20ms re-init, 2 warm-up probes, 5ms
+  serving::HealthMonitor mon(env, {&gpu}, hopts, rec, /*observer=*/nullptr);
+  mon.Start();
+
+  env.RunUntil(At(2.5));
+  ASSERT_EQ(mon.health(0), serving::DeviceHealth::kHealthy);
+  gpu.Reset(Duration::Millis(20));  // outage [2.5, 22.5)
+  ASSERT_EQ(mon.health(0), serving::DeviceHealth::kDown);
+
+  // Outage ends at 22.5 but the driver re-init runs until 42.5: probes in
+  // between succeed at the device yet the monitor must stay kDown.
+  env.RunUntil(At(30));
+  EXPECT_EQ(mon.health(0), serving::DeviceHealth::kDown);
+  EXPECT_FALSE(mon.Usable(0));
+
+  env.RunUntil(At(43));
+  ASSERT_EQ(mon.health(0), serving::DeviceHealth::kRecovering);
+  EXPECT_FALSE(mon.Usable(0));
+  env.RunUntil(At(44.5));
+  // Heartbeats landed every 1ms during recovery; readmission waits for the
+  // pipeline (warm-up probes + 5ms warm-up), not the first probe success.
+  EXPECT_EQ(mon.health(0), serving::DeviceHealth::kRecovering);
+  EXPECT_FALSE(mon.Usable(0));
+
+  env.RunUntil(At(60));
+  EXPECT_EQ(mon.health(0), serving::DeviceHealth::kHealthy);
+  EXPECT_TRUE(mon.Usable(0));
+  int recovering_to_healthy = 0;
+  for (const auto& t : mon.transitions()) {
+    if (t.gpu == 0 && t.from == serving::DeviceHealth::kRecovering &&
+        t.to == serving::DeviceHealth::kHealthy) {
+      ++recovering_to_healthy;
+    }
+  }
+  EXPECT_EQ(recovering_to_healthy, 1);
+  EXPECT_EQ(mon.stats(0).readmissions, 1u);
+  ASSERT_EQ(mon.stats(0).mttr_incidents.size(), 1u);
+  // The incident covers outage + re-init + warm-up, not just the outage.
+  EXPECT_GT(mon.stats(0).mttr_incidents[0], Duration::Millis(20));
+  mon.Stop();
+  env.Run();
+}
+
 TEST(FailoverTest, HangEscalationFailsOverAndRecoversAtHangEnd) {
   serving::ServerOptions opts = TwoGpuOptions(/*failover=*/true);
   // A 300ms hang outlives the 10ms escalation budget: kDegraded -> kDown

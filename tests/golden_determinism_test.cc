@@ -23,8 +23,10 @@
 
 #include "core/profiler.h"
 #include "core/scheduler.h"
+#include "fault/fault.h"
 #include "metrics/registry.h"
 #include "metrics/trace.h"
+#include "serving/cluster.h"
 #include "serving/server.h"
 
 namespace olympian {
@@ -169,6 +171,83 @@ TEST(GoldenDeterminismTest, ObservabilityLeavesOutcomesBitIdentical) {
     EXPECT_GT(observed.events, plain.events)
         << "sampler ticks should add events";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-ON golden: the full cluster stack (router, probes, open-loop
+// Poisson arrivals, a crash with failover) pinned the same way. The
+// single-server goldens above run with the cluster disabled and must stay
+// untouched by cluster work; this one pins the cluster trajectory itself.
+
+struct GoldenClusterRun {
+  std::vector<std::int64_t> finish_ns;  // per-client
+  std::vector<int> completed;           // per-client served requests
+  std::uint64_t events = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed_over = 0;
+  std::uint64_t transitions = 0;
+
+  bool operator==(const GoldenClusterRun&) const = default;
+};
+
+GoldenClusterRun RunClusterWorkload() {
+  serving::ClusterOptions opts;
+  opts.num_servers = 2;
+  opts.server.num_gpus = 1;
+  opts.server.pool_threads = 100;
+  opts.seed = 7;
+  opts.faults.Crash(sim::TimePoint() + sim::Duration::Millis(100),
+                    sim::Duration::Millis(400), /*server=*/0);
+  serving::Cluster cluster(opts);
+  serving::ClusterClientSpec c;
+  c.request.model = "googlenet";
+  c.request.batch = 10;
+  c.request.num_batches = 6;
+  c.arrivals.kind = serving::ArrivalSpec::Kind::kPoisson;
+  c.arrivals.rate_rps = 150.0;
+  const auto results =
+      cluster.Run(std::vector<serving::ClusterClientSpec>(4, c));
+  GoldenClusterRun out;
+  for (const auto& r : results) {
+    out.finish_ns.push_back(r.finish_time.nanos());
+    out.completed.push_back(r.requests_completed);
+  }
+  out.events = cluster.env().events_executed();
+  out.routed = cluster.counters().requests_routed;
+  out.ok = cluster.counters().requests_ok;
+  out.failed_over = cluster.counters().requests_failed_over;
+  out.transitions = cluster.counters().server_transitions;
+  return out;
+}
+
+void PrintGoldenCluster(const char* name, const GoldenClusterRun& g) {
+  std::printf("const GoldenClusterRun %s{\n    {", name);
+  for (auto v : g.finish_ns) std::printf("%lldLL, ", static_cast<long long>(v));
+  std::printf("},\n    {");
+  for (auto v : g.completed) std::printf("%d, ", v);
+  std::printf("},\n    %lluULL, %lluULL, %lluULL, %lluULL, %lluULL};\n",
+              static_cast<unsigned long long>(g.events),
+              static_cast<unsigned long long>(g.routed),
+              static_cast<unsigned long long>(g.ok),
+              static_cast<unsigned long long>(g.failed_over),
+              static_cast<unsigned long long>(g.transitions));
+}
+
+const GoldenClusterRun kGoldenCluster{
+    {1169439626LL, 1055583791LL, 1173012036LL, 1053536204LL},
+    {6, 6, 6, 6},
+    3201689ULL, 26ULL, 24ULL, 2ULL, 4ULL};
+
+TEST(GoldenDeterminismTest, ClusterMatchesGoldenAndReplays) {
+  const GoldenClusterRun a = RunClusterWorkload();
+  const GoldenClusterRun b = RunClusterWorkload();
+  EXPECT_EQ(a, b) << "same-seed cluster replay diverged within one build";
+  if (PrintRequested()) {
+    PrintGoldenCluster("kGoldenCluster", a);
+    return;
+  }
+  EXPECT_EQ(a, kGoldenCluster) << "cluster run diverged from golden values";
 }
 
 // ---------------------------------------------------------------------------

@@ -492,5 +492,59 @@ TEST(ObservabilityTest, HedgeWinChainConnectsDeviceTracks) {
   EXPECT_TRUE(saw_unhealthy) << "health series never left kHealthy";
 }
 
+TEST(ObservabilityTest, FlowHopsCarryCancelReasonDetails) {
+  // A device loss mid-run: victims re-admit on the survivor, so their flow
+  // chains carry a kStep annotated "failover", and every flow terminates
+  // with an explicit outcome reason on its kEnd hop.
+  Tracer tracer(400000);
+  serving::ServerOptions opts;
+  opts.num_gpus = 2;
+  opts.failover.enabled = true;
+  opts.executor.tracer = &tracer;
+  opts.faults.DeviceReset(At(600), Duration::Seconds(100), /*gpu_index=*/0);
+  serving::Experiment exp(opts);
+  const auto results = exp.Run(
+      {serving::ClientSpec{.model = "resnet-152", .batch = 20,
+                           .num_batches = 8},
+       serving::ClientSpec{.model = "googlenet", .batch = 20,
+                           .num_batches = 8}});
+  ASSERT_GE(exp.counters().requests_failed_over, 1u);
+
+  int begins = 0, ends = 0, failover_steps = 0, ok_ends = 0;
+  for (const auto& e : tracer.events()) {
+    if (e.ph == 's') {
+      ++begins;
+      // The first admission needs no reason; nothing went wrong yet.
+      EXPECT_EQ(e.detail, nullptr);
+    } else if (e.ph == 't') {
+      ASSERT_NE(e.detail, nullptr) << "flow step without a reason";
+      if (std::string_view(e.detail) == "failover") ++failover_steps;
+    } else if (e.ph == 'f') {
+      ++ends;
+      ASSERT_NE(e.detail, nullptr) << "flow end without an outcome";
+      if (std::string_view(e.detail) == "ok") ++ok_ends;
+    }
+  }
+  EXPECT_EQ(begins, 16);  // one flow per request
+  EXPECT_EQ(ends, 16);    // every flow terminates with an outcome
+  EXPECT_GE(failover_steps, 1) << "no re-admission hop was annotated";
+  EXPECT_GE(ok_ends, 1);
+
+  // The annotation survives the Chrome export as args:{"reason":...}.
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  const testjson::Value doc = testjson::Parse(os.str());
+  int exported = 0;
+  for (const auto& e : doc.AsArray()) {
+    const std::string& ph = e.at("ph").AsString();
+    if (ph != "t" && ph != "f") continue;
+    if (e.contains("args") && e.at("args").contains("reason") &&
+        e.at("args").at("reason").AsString() == "failover") {
+      ++exported;
+    }
+  }
+  EXPECT_GE(exported, 1) << "no exported hop carries the failover reason";
+}
+
 }  // namespace
 }  // namespace olympian
