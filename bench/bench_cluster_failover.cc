@@ -46,7 +46,8 @@ struct ClusterRun {
   sim::Duration makespan;
 };
 
-ClusterRun RunCluster(bool failover, bool crash, bool partition) {
+ClusterRun RunCluster(bool failover, bool crash, bool partition,
+                      bench::SweepCase* record_engine = nullptr) {
   serving::ClusterOptions opts;
   opts.num_servers = 3;
   opts.server.num_gpus = 1;
@@ -77,7 +78,15 @@ ClusterRun RunCluster(bool failover, bool crash, bool partition) {
   run.counters = cluster.counters();
   run.mttr_incidents = cluster.router().mttr_incidents();
   run.makespan = cluster.makespan();
+  if (record_engine != nullptr) record_engine->RecordEngine(cluster.engine());
   return run;
+}
+
+double Metric(const bench::SweepCase& r, const std::string& key) {
+  for (const auto& [k, v] : r.metrics) {
+    if (k == key) return v;
+  }
+  return 0.0;
 }
 
 bool SameRun(const ClusterRun& a, const ClusterRun& b) {
@@ -133,7 +142,8 @@ int main() {
   bench::SweepRunner sweep("cluster_failover");
   for (const Case& cfg : kCases) {
     sweep.Add(cfg.name, [cfg](bench::SweepCase& out) {
-      const ClusterRun run = RunCluster(cfg.failover, cfg.crash, cfg.partition);
+      const ClusterRun run =
+          RunCluster(cfg.failover, cfg.crash, cfg.partition, &out);
       out.Set("availability", Availability(run));
 
       metrics::Series latency;
@@ -178,16 +188,16 @@ int main() {
   metrics::Table t({"Case", "Availability", "p99 (ms)", "Failed over",
                     "Failed", "Down events", "MTTR p95 (ms)"});
   for (const auto& r : results) {
-    t.AddRow({r.name, metrics::Table::Pct(r.metrics[0].second),
-              metrics::Table::Num(r.metrics[1].second, 0),
-              metrics::Table::Num(r.metrics[3].second, 0),
-              metrics::Table::Num(r.metrics[4].second, 0),
-              metrics::Table::Num(r.metrics[6].second, 0),
-              metrics::Table::Num(r.metrics[8].second, 0)});
+    t.AddRow({r.name, metrics::Table::Pct(Metric(r, "availability")),
+              metrics::Table::Num(Metric(r, "p99_ms"), 0),
+              metrics::Table::Num(Metric(r, "failed_over"), 0),
+              metrics::Table::Num(Metric(r, "requests_failed"), 0),
+              metrics::Table::Num(Metric(r, "down_events"), 0),
+              metrics::Table::Num(Metric(r, "mttr_p95_ms"), 0)});
     if (std::string(r.name).find("failover") != std::string::npos &&
-        r.metrics[0].second < 0.99) {
+        Metric(r, "availability") < 0.99) {
       std::cout << "WARNING: " << r.name << " availability "
-                << r.metrics[0].second << " below the 99% gate\n";
+                << Metric(r, "availability") << " below the 99% gate\n";
     }
   }
   t.Print(std::cout);

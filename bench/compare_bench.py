@@ -40,8 +40,14 @@ import argparse
 import json
 import sys
 
-RATE_COUNTERS = ("kernels/s", "waves/s", "items_per_second")
+RATE_COUNTERS = ("kernels/s", "waves/s", "events/s", "items_per_second")
 ALLOC_COUNTER = "allocs/kernel"
+# Bookkeeping counters newer binaries emit but older baselines may predate
+# (or the reverse): sharded-engine topology/accounting and per-case timing.
+# A presence mismatch between baseline and current is a note, never a
+# failure, so baselines do not need regenerating when these are added.
+OPTIONAL_COUNTERS = ("shards", "sync_windows", "boundary_events",
+                     "case_seconds")
 
 
 def load_benchmarks(path):
@@ -125,7 +131,9 @@ def check_min_ratios(benchmarks, specs, failures):
 def check_counter_bounds(benchmarks, specs, failures, *, lower):
     kind = "--min-counter" if lower else "--max-counter"
     for spec in specs:
-        parts = spec.split(":")
+        # rsplit so benchmark names containing ':' (e.g. google-benchmark's
+        # "BM_Foo/iterations:1") still parse as NAME:counter:bound.
+        parts = spec.rsplit(":", 2)
         if len(parts) != 3:
             print(f"error: bad {kind} spec {spec!r} "
                   f"(want NAME:counter:bound)", file=sys.stderr)
@@ -191,9 +199,20 @@ def main():
         compared += 1
         base_rates = rates(base)
         cur_rates = rates(cur)
+        # Optional counters: report one-sided presence, never fail on it.
+        for key in OPTIONAL_COUNTERS:
+            in_base = isinstance(base.get(key), (int, float))
+            in_cur = isinstance(cur.get(key), (int, float))
+            if in_base != in_cur:
+                side = "baseline" if in_base else "current run"
+                print(f"note: {name}: optional counter {key!r} only in {side}")
         for key, base_v in base_rates.items():
             cur_v = cur_rates.get(key)
             if cur_v is None:
+                if key in OPTIONAL_COUNTERS:
+                    print(f"note: {name}: optional counter {key!r} absent "
+                          f"from current run, skipped")
+                    continue
                 failures.append(f"{name}: counter {key} missing from current run")
                 continue
             ratio = cur_v / base_v

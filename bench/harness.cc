@@ -175,6 +175,15 @@ void SweepCase::RecordStatuses(
   }
 }
 
+void SweepCase::RecordEngine(const sim::ShardedEngine& engine) {
+  engine_shards = engine.shards();
+  engine_sync_windows = engine.sync_windows();
+  engine_boundary_events = engine.boundary_events();
+  Set("shards", static_cast<double>(engine_shards));
+  Set("sync_windows", static_cast<double>(engine_sync_windows));
+  Set("boundary_events", static_cast<double>(engine_boundary_events));
+}
+
 Json SloJson(const metrics::SloReport& r) {
   Json latency = Json::Object();
   latency.Set("mean_ms", Json::Num(r.mean_ms))
@@ -319,6 +328,17 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
   Json cases_json = Json::Array();
   metrics::SloAccumulator merged_slo;
   double merged_window = 0.0;
+  // Engine counters pooled across cases: shards is the widest partition any
+  // case ran with (1 when no case recorded an engine — every artifact still
+  // carries the block), windows/boundary events are totals.
+  std::uint64_t agg_shards = 1;
+  std::uint64_t agg_sync_windows = 0;
+  std::uint64_t agg_boundary_events = 0;
+  for (const auto& r : results_) {
+    if (r.engine_shards > agg_shards) agg_shards = r.engine_shards;
+    agg_sync_windows += r.engine_sync_windows;
+    agg_boundary_events += r.engine_boundary_events;
+  }
   for (const auto& r : results_) {
     Json metrics = Json::Object();
     for (const auto& [key, value] : r.metrics) {
@@ -349,6 +369,13 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
       // over all cases that recorded request outcomes (empty-traffic report
       // when none did).
       .Set("slo", SloJson(merged_slo.Report(merged_window)))
+      .Set("engine",
+           Json::Object()
+               .Set("shards", Json::Num(static_cast<double>(agg_shards)))
+               .Set("sync_windows",
+                    Json::Num(static_cast<double>(agg_sync_windows)))
+               .Set("boundary_events",
+                    Json::Num(static_cast<double>(agg_boundary_events))))
       .Set("cases", std::move(cases_json));
   const std::string path = "BENCH_" + name_ + ".json";
   if (!WriteJsonFile(path, root)) {

@@ -5,6 +5,7 @@
 // provides the common plumbing: profiling with caching, building Olympian
 // experiments, and result summaries.
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -20,6 +21,7 @@
 #include "metrics/stats.h"
 #include "metrics/table.h"
 #include "serving/server.h"
+#include "sim/shard.h"
 
 namespace olympian::bench {
 
@@ -114,6 +116,15 @@ struct SweepCase {
   // Also feeds every request (model, latency, outcome) into `slo` and
   // widens `slo_window_seconds` to the latest client finish time.
   void RecordStatuses(const std::vector<serving::ClientResult>& clients);
+  // Sharded-engine execution counters (see sim/shard.h) — call from every
+  // case that ran a cluster workload. Adds shards / sync_windows /
+  // boundary_events metrics to the case and feeds the artifact-level
+  // "engine" block RunAll() stamps into every BENCH_*.json (shards: max
+  // across cases, defaulting to 1; windows/boundary events: sums).
+  void RecordEngine(const sim::ShardedEngine& engine);
+  std::uint64_t engine_shards = 0;  // 0 until RecordEngine is called
+  std::uint64_t engine_sync_windows = 0;
+  std::uint64_t engine_boundary_events = 0;
 };
 
 // JSON block for an SLO report; attached per case and at artifact top level

@@ -133,4 +133,22 @@ sim::TimePoint ArrivalProcess::Next(sim::Rng& rng) {
   throw std::logic_error("unreachable arrival kind");
 }
 
+AggregateArrivalProcess::AggregateArrivalProcess(ArrivalSpec spec,
+                                                 std::uint64_t modeled_clients)
+    : base_(std::move(spec)), modeled_clients_(modeled_clients) {
+  if (modeled_clients_ == 0) {
+    throw std::invalid_argument("aggregate stream needs modeled_clients > 0");
+  }
+  if (!base_.open_loop()) {
+    throw std::invalid_argument(
+        "aggregate streams are open-loop; closed-loop clients cannot be "
+        "superposed into one generator");
+  }
+}
+
+std::uint64_t AggregateArrivalProcess::NextClient(sim::Rng& rng) {
+  return static_cast<std::uint64_t>(rng.UniformInt(
+      0, static_cast<std::int64_t>(modeled_clients_) - 1));
+}
+
 }  // namespace olympian::serving

@@ -69,4 +69,32 @@ class ArrivalProcess {
   bool mmpp_armed_ = false;
 };
 
+// One arrival process standing in for a whole population of clients.
+//
+// Per-client generators cost one process and one generator per client — at
+// a million modeled clients that is the binding memory/startup cost of a
+// cluster experiment. A superposition of independent Poisson processes is
+// itself Poisson at the summed rate, so an aggregate stream replaces the
+// population with ONE generator at the population rate plus one uniform
+// client-id draw per arrival (which client this arrival belongs to). Memory
+// is O(1) in the population; determinism is preserved: exactly two Rng
+// draws per arrival (interarrival + id) in a fixed order.
+class AggregateArrivalProcess {
+ public:
+  AggregateArrivalProcess(ArrivalSpec spec, std::uint64_t modeled_clients);
+
+  std::uint64_t modeled_clients() const { return modeled_clients_; }
+
+  // Next arrival instant of the aggregate stream (monotone non-decreasing).
+  sim::TimePoint Next(sim::Rng& rng) { return base_.Next(rng); }
+
+  // The modeled client this arrival belongs to: uniform in
+  // [0, modeled_clients). Call exactly once per Next() for reproducibility.
+  std::uint64_t NextClient(sim::Rng& rng);
+
+ private:
+  ArrivalProcess base_;
+  std::uint64_t modeled_clients_;
+};
+
 }  // namespace olympian::serving

@@ -14,8 +14,47 @@ int ClusterClientResult::CountStatus(RequestStatus s) const {
   return n;
 }
 
+namespace {
+
+// Validates a sharded configuration and returns the effective shard count
+// (clamped to the server count; 0 means 1). Throws std::invalid_argument
+// for state that cannot be safely partitioned across threads.
+std::size_t ValidatedShards(const ClusterOptions& o) {
+  std::size_t shards = o.shards == 0 ? 1 : o.shards;
+  shards = std::min(shards, o.num_servers);
+  if (shards <= 1) return 1;
+  if (o.router.net_delay <= sim::Duration::Zero()) {
+    throw std::invalid_argument(
+        "sharded cluster requires router.net_delay > 0: it is the engine "
+        "lookahead that makes conservative windows non-empty");
+  }
+  for (const fault::FaultEvent& e : o.server.faults.events()) {
+    if (e.kind == fault::FaultKind::kAllocFault) {
+      throw std::invalid_argument(
+          "sharded cluster cannot run kAllocFault device faults: the "
+          "tenant-instantiation failure path does hub bookkeeping at the "
+          "server-side instant, which would need a zero-latency hop");
+    }
+  }
+  if (o.server.executor.tracer != nullptr) {
+    throw std::invalid_argument(
+        "sharded cluster cannot share a server-side tracer: servers on "
+        "different shards would append to one buffer concurrently");
+  }
+  if (o.server.observability.registry != nullptr) {
+    throw std::invalid_argument(
+        "sharded cluster cannot share a server-side observability "
+        "registry across shards; use ClusterOptions::registry (hub-only)");
+  }
+  return shards;
+}
+
+}  // namespace
+
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)),
+      engine_(ValidatedShards(options_), options_.router.net_delay),
+      env_(engine_.hub()),
       tracer_(options_.server.executor.tracer) {
   if (options_.num_servers < 1) {
     throw std::invalid_argument("num_servers must be >= 1");
@@ -32,7 +71,8 @@ Cluster::Cluster(ClusterOptions options)
     // devices are all down must reject promptly (kRejected + no usable
     // device), which is the signal the router converts into failover.
     so.failover.enabled = true;
-    servers_.push_back(std::make_unique<Experiment>(std::move(so), env_));
+    servers_.push_back(std::make_unique<Experiment>(
+        std::move(so), engine_.shard_env(shard_of(s))));
   }
   RouterTransport& transport = *this;  // private base: convert in-class
   router_ = std::make_unique<Router>(env_, transport, servers_.size(),
@@ -42,6 +82,8 @@ Cluster::Cluster(ClusterOptions options)
   hung_until_.resize(servers_.size());
   part_to_until_.resize(servers_.size());
   part_from_until_.resize(servers_.size());
+  tenant_of_.resize(servers_.size());
+  tenant_instantiations_.resize(servers_.size());
 }
 
 Cluster::~Cluster() = default;
@@ -139,9 +181,14 @@ void Cluster::StopAll() {
 sim::Task Cluster::EnsureTenant(std::size_t server, std::size_t client,
                                 const ClientSpec& spec, std::size_t& tenant,
                                 bool& ok) {
+  // Runs on the server's environment — in sharded mode that is the server's
+  // shard (only its worker thread touches this server's tenant map during
+  // windows); unsharded it is the hub itself, so timing and behaviour are
+  // byte-identical to the pre-sharding implementation.
+  sim::Environment& senv = servers_[server]->env();
+  std::map<std::size_t, std::size_t>& tenants = tenant_of_[server];
   ok = true;
-  if (const auto it = tenant_of_.find({server, client});
-      it != tenant_of_.end()) {
+  if (const auto it = tenants.find(client); it != tenants.end()) {
     tenant = it->second;
     co_return;
   }
@@ -155,11 +202,10 @@ sim::Task Cluster::EnsureTenant(std::size_t server, std::size_t client,
     cost += sim::Duration::Seconds(static_cast<double>(mspec.params_mb) /
                                    1024.0 / rec.pcie_gbps);
   }
-  if (cost > sim::Duration::Zero()) co_await env_.Delay(cost);
+  if (cost > sim::Duration::Zero()) co_await senv.Delay(cost);
   // A concurrent leg of the same client may have finished the setup while
   // we streamed; re-check before instantiating.
-  if (const auto it = tenant_of_.find({server, client});
-      it != tenant_of_.end()) {
+  if (const auto it = tenants.find(client); it != tenants.end()) {
     tenant = it->second;
     co_return;
   }
@@ -169,8 +215,8 @@ sim::Task Cluster::EnsureTenant(std::size_t server, std::size_t client,
     ok = false;
     co_return;
   }
-  tenant_of_[{server, client}] = tenant;
-  ++counters_.tenant_instantiations;
+  tenants[client] = tenant;
+  ++tenant_instantiations_[server];
 }
 
 sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
@@ -304,6 +350,150 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
   }
 }
 
+sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
+                                   std::size_t home, sim::Rng& rng,
+                                   sim::TimePoint arrival,
+                                   RequestStatus& status) {
+  // Mirrors DispatchRequest decision-for-decision and delay-for-delay; the
+  // only difference is WHERE the serve section executes: the forward and
+  // response network legs become cross-shard hops, so the in-server
+  // pipeline runs on the server's shard inside parallel windows while the
+  // hub bookkeeping stays on the hub. Route, counters, and router state are
+  // only ever touched hub-side.
+  const RouterOptions& ro = options_.router;
+  for (int attempt = 1;;) {
+    const std::size_t s = router_->Route(home);
+    if (s == Router::kNoServer) {
+      ++counters_.requests_rejected_no_server;
+      status = RequestStatus::kRejected;
+      co_await env_.Delay(ro.retry_backoff);
+      co_return;
+    }
+    router_->OnRequestStart(s);
+
+    // A partition active at send time drops the request on the wire: it
+    // never reaches the server's shard, so the whole round — forward leg,
+    // probe timeout, error bookkeeping — stays on the hub, with the same
+    // virtual-time cost as the unsharded path.
+    const bool lost_to = env_.Now() < part_to_until_[s];
+    if (lost_to) {
+      co_await env_.Delay(ro.net_delay);
+      ++counters_.requests_lost_to_server;
+      co_await env_.Delay(ro.probe_timeout);
+      router_->OnRequestEnd(s);
+      router_->OnRequestError(s);
+      if (ro.failover) {
+        ++counters_.requests_failed_over;
+        continue;
+      }
+      if (attempt > ro.max_retries) {
+        status = RequestStatus::kFailed;
+        ++counters_.requests_failed;
+        co_return;
+      }
+      ++counters_.retries;
+      ++attempt;
+      co_await env_.Delay(ro.retry_backoff);
+      continue;
+    }
+
+    // Forward leg: the request physically moves onto the server's shard.
+    co_await engine_.HopToShard(shard_of(s), ro.net_delay);
+
+    std::size_t tenant = 0;
+    bool tenant_ok = true;
+    RequestStatus leg = RequestStatus::kOk;
+    bool lost_from = false;
+    std::exception_ptr err;
+    try {
+      co_await EnsureTenant(s, client, spec, tenant, tenant_ok);
+      if (tenant_ok) {
+        co_await servers_[s]->ServeTenantRequest(tenant, rng, arrival, leg);
+        // Read at the serve-completion instant on the server's clock,
+        // exactly where the unsharded path evaluates it (before the
+        // response leg). The window arrays are written only during hub
+        // instants, so the read is race-free and temporally exact.
+        lost_from = servers_[s]->env().Now() < part_from_until_[s];
+      }
+    } catch (...) {
+      // Carry server-side errors across the hop: rethrowing on the worker
+      // would resume the client's continuation on the wrong thread.
+      err = std::current_exception();
+    }
+
+    // Response leg: back onto the hub.
+    co_await engine_.HopToHub(shard_of(s), ro.net_delay);
+    if (err != nullptr) std::rethrow_exception(err);
+
+    if (!tenant_ok) {
+      // Unreachable when sharded (ValidatedShards rejects kAllocFault
+      // plans, the only source of instantiation failures); kept for
+      // structural parity with DispatchRequest.
+      router_->OnRequestEnd(s);
+      router_->OnRequestError(s);
+      if (attempt > ro.max_retries) {
+        status = RequestStatus::kFailed;
+        ++counters_.requests_failed;
+        co_return;
+      }
+      ++counters_.retries;
+      ++attempt;
+      co_await env_.Delay(ro.retry_backoff);
+      continue;
+    }
+
+    router_->OnRequestEnd(s);
+    if (lost_from) {
+      ++counters_.responses_lost_from_server;
+      router_->OnRequestError(s);
+      if (ro.failover) {
+        ++counters_.requests_failed_over;
+        continue;
+      }
+      if (attempt > ro.max_retries) {
+        status = RequestStatus::kFailed;
+        ++counters_.requests_failed;
+        co_return;
+      }
+      ++counters_.retries;
+      ++attempt;
+      co_await env_.Delay(ro.retry_backoff);
+      continue;
+    }
+
+    if (leg == RequestStatus::kOk || leg == RequestStatus::kFailedRetried) {
+      router_->OnRequestSuccess(s);
+      ++counters_.requests_ok;
+      status = (attempt == 1 && leg == RequestStatus::kOk)
+                   ? RequestStatus::kOk
+                   : RequestStatus::kFailedRetried;
+      co_return;
+    }
+    if (leg == RequestStatus::kTimedOut) {
+      status = RequestStatus::kTimedOut;
+      ++counters_.requests_timed_out;
+      co_return;
+    }
+    if (leg == RequestStatus::kRejected && !HasUsableDevice(s)) {
+      router_->OnRequestError(s);
+      if (ro.failover) {
+        ++counters_.requests_failed_over;
+        continue;
+      }
+    } else if (leg == RequestStatus::kFailed) {
+      router_->OnRequestError(s);
+    }
+    if (attempt > ro.max_retries) {
+      status = leg;
+      ++counters_.requests_failed;
+      co_return;
+    }
+    ++counters_.retries;
+    ++attempt;
+    co_await env_.Delay(ro.retry_backoff);
+  }
+}
+
 sim::Task Cluster::ClientProc(std::size_t client,
                               const ClusterClientSpec& spec,
                               std::uint64_t seed, ClusterClientResult& out) {
@@ -332,8 +522,13 @@ sim::Task Cluster::ClientProc(std::size_t client,
       arrival = env_.Now();
     }
     RequestStatus status = RequestStatus::kOk;
-    co_await DispatchRequest(client, spec.request, out.home_server, rng,
-                             arrival, status);
+    if (engine_.sharded()) {
+      co_await ShardedDispatch(client, spec.request, out.home_server, rng,
+                               arrival, status);
+    } else {
+      co_await DispatchRequest(client, spec.request, out.home_server, rng,
+                               arrival, status);
+    }
     out.request_latency_ms.push_back((env_.Now() - arrival).millis());
     out.request_status.push_back(status);
     if (latency_hist != nullptr) {
@@ -345,9 +540,13 @@ sim::Task Cluster::ClientProc(std::size_t client,
     }
   }
   out.finish_time = env_.Now() - sim::TimePoint();
-  // Fold this client's meters into each server it ever ran on.
-  for (const auto& [key, tenant] : tenant_of_) {
-    if (key.second == client) servers_[key.first]->RetireTenant(tenant);
+  // Fold this client's meters into each server it ever ran on. Runs during
+  // a hub instant (workers parked), so touching shard-resident servers is
+  // safe; ascending server order matches the old flat-map iteration.
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (const auto it = tenant_of_[s].find(client); it != tenant_of_[s].end()) {
+      servers_[s]->RetireTenant(it->second);
+    }
   }
   if (--clients_running_ == 0) StopAll();
 }
@@ -368,7 +567,7 @@ std::vector<ClusterClientResult> Cluster::Run(
     // Home tenants are provisioned before traffic, like Run()'s per-client
     // setup loop (no PCIe charge: the cluster was racked with them loaded).
     const std::size_t tenant = servers_[home]->AddTenant(clients[i].request);
-    tenant_of_[{home, i}] = tenant;
+    tenant_of_[home][i] = tenant;
 
     ClusterClientResult& out = results[i];
     out.name = clients[i].request.model + "#" + std::to_string(i);
@@ -380,7 +579,7 @@ std::vector<ClusterClientResult> Cluster::Run(
   }
   clients_running_ = clients.size();
 
-  env_.Run();
+  engine_.Run();
 
   sim::Duration makespan;
   bool stalled = false;
@@ -394,11 +593,129 @@ std::vector<ClusterClientResult> Cluster::Run(
                         "drained event queue");
   }
   for (auto& s : servers_) s->ShutdownPool();
-  env_.Run();  // drain exiting workers
+  engine_.Run();  // drain exiting workers
+  FinishRun();
+  return results;
+}
+
+sim::Task Cluster::StreamProc(std::size_t stream,
+                              const ClusterStreamSpec& spec,
+                              std::uint64_t seed, ClusterStreamResult& out) {
+  sim::Rng rng(seed);
+  AggregateArrivalProcess arrivals(spec.arrivals, spec.modeled_clients);
+  for (int r = 0; r < spec.num_requests; ++r) {
+    const sim::TimePoint arrival = arrivals.Next(rng);
+    if (arrival > env_.Now()) co_await env_.Delay(arrival - env_.Now());
+    // Each arrival belongs to one of the stream's modeled clients; the
+    // drawn id picks the home server, then the request runs as its own
+    // process with a forked rng — open loop, so generation never blocks on
+    // serving and in-flight memory tracks concurrency, not population.
+    const std::uint64_t cid = arrivals.NextClient(rng);
+    const std::size_t home = static_cast<std::size_t>(cid % servers_.size());
+    ++outstanding_requests_;
+    env_.Spawn(StreamRequestProc(stream, spec, home, rng.Fork(), arrival, r,
+                                 out));
+  }
+  if (--streams_running_ == 0 && outstanding_requests_ == 0) StopAll();
+}
+
+sim::Task Cluster::StreamRequestProc(std::size_t stream,
+                                     const ClusterStreamSpec& spec,
+                                     std::size_t home, sim::Rng rng,
+                                     sim::TimePoint arrival, int index,
+                                     ClusterStreamResult& out) {
+  RequestStatus status = RequestStatus::kOk;
+  if (engine_.sharded()) {
+    co_await ShardedDispatch(stream, spec.request, home, rng, arrival, status);
+  } else {
+    co_await DispatchRequest(stream, spec.request, home, rng, arrival, status);
+  }
+  // Slots are indexed by arrival order, so the result layout is identical
+  // no matter which order responses land in.
+  out.request_latency_ms[static_cast<std::size_t>(index)] =
+      (env_.Now() - arrival).millis();
+  out.request_status[static_cast<std::size_t>(index)] = status;
+  if (status == RequestStatus::kOk || status == RequestStatus::kFailedRetried) {
+    ++out.requests_completed;
+  }
+  const sim::Duration finished = env_.Now() - sim::TimePoint();
+  out.finish_time = std::max(out.finish_time, finished);
+  if (--outstanding_requests_ == 0 && streams_running_ == 0) StopAll();
+}
+
+std::vector<ClusterStreamResult> Cluster::RunStreams(
+    const std::vector<ClusterStreamSpec>& streams) {
+  if (ran_) throw std::logic_error("Cluster::RunStreams may only be called once");
+  ran_ = true;
+  for (const ClusterStreamSpec& st : streams) {
+    if (st.arrivals.kind == ArrivalSpec::Kind::kClosedLoop) {
+      throw std::invalid_argument(
+          "aggregate streams are open-loop: give each stream an arrival "
+          "generator");
+    }
+  }
+  for (auto& s : servers_) s->StartServing();
+  router_->Start();
+  ArmServerFaults();
+
+  std::vector<ClusterStreamResult> results(streams.size());
+  std::vector<sim::Process> procs;
+  procs.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    // The model is racked on every server up front: any drawn client id can
+    // dispatch anywhere without a first-arrival PCIe charge, and EnsureTenant
+    // degenerates to a map hit on every path.
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      tenant_of_[s][i] = servers_[s]->AddTenant(streams[i].request);
+    }
+    ClusterStreamResult& out = results[i];
+    out.name = streams[i].request.model + "/stream" + std::to_string(i);
+    out.model = streams[i].request.model;
+    out.request_latency_ms.assign(
+        static_cast<std::size_t>(streams[i].num_requests), 0.0);
+    out.request_status.assign(
+        static_cast<std::size_t>(streams[i].num_requests), RequestStatus::kOk);
+    procs.push_back(env_.Spawn(
+        StreamProc(i, streams[i], options_.seed * 15485863 + i, out),
+        "cluster/" + out.name));
+  }
+  streams_running_ = streams.size();
+  outstanding_requests_ = 0;
+
+  engine_.Run();
+
+  sim::Duration makespan;
+  bool stalled = outstanding_requests_ != 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    makespan = std::max(makespan, results[i].finish_time);
+    if (!procs[i].done()) stalled = true;
+  }
+  makespan_ = makespan;
+  if (stalled) {
+    throw ServerStalled("cluster stream workload stalled: in-flight requests "
+                        "with a drained event queue");
+  }
+  // Fold stream meters into their servers (every stream is racked on every
+  // server), then drain the pools.
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    for (const auto& [stream, tenant] : tenant_of_[s]) {
+      (void)stream;
+      servers_[s]->RetireTenant(tenant);
+    }
+  }
+  for (auto& s : servers_) s->ShutdownPool();
+  engine_.Run();  // drain exiting workers
+  FinishRun();
+  return results;
+}
+
+void Cluster::FinishRun() {
+  for (const std::uint64_t n : tenant_instantiations_) {
+    counters_.tenant_instantiations += n;
+  }
   if (options_.registry != nullptr) {
     counters_.ExportTo(*options_.registry);
   }
-  return results;
 }
 
 }  // namespace olympian::serving

@@ -14,6 +14,7 @@
 #include "serving/router.h"
 #include "serving/server.h"
 #include "sim/environment.h"
+#include "sim/shard.h"
 
 namespace olympian::serving {
 
@@ -54,6 +55,45 @@ struct ClusterOptions {
   metrics::MetricRegistry* registry = nullptr;
   // Master seed for server seeds and per-client request streams.
   std::uint64_t seed = 1;
+  // Simulation shards. 1 (the default) keeps everything on one event queue —
+  // the unsharded engine, byte-identical to the pre-sharding cluster. With
+  // shards > 1 the servers are partitioned across worker shards (server s on
+  // shard s % shards; router, clients, and fault injection on the hub) and
+  // the experiment runs on sim::ShardedEngine's conservative windows.
+  // Clamped to num_servers. Sharded mode requires router.net_delay > 0 (it
+  // is the engine lookahead) and rejects configurations whose state cannot
+  // be safely partitioned: kAllocFault device faults (their failure path
+  // does hub bookkeeping at the server-side instant), a server-side tracer,
+  // or a server-side observability registry (both would be written from
+  // multiple shard threads). The cluster-level `registry` above stays fully
+  // supported — it is only touched from the hub.
+  std::size_t shards = 1;
+};
+
+// One aggregate request stream: an open-loop arrival process standing in
+// for `modeled_clients` individual clients of one model. Each arrival draws
+// a client id, whose home server is id % num_servers; the per-(server,
+// stream) tenant is provisioned on every server up front, so memory and
+// process count scale with streams and in-flight requests — not with the
+// modeled client population. This is what makes million-client workloads
+// feasible: one generator proc per stream instead of one proc per client.
+struct ClusterStreamSpec {
+  ClientSpec request;   // per-request template (model, batch, deadline)
+  ArrivalSpec arrivals; // must be open-loop (kClosedLoop is rejected)
+  std::uint64_t modeled_clients = 1;
+  int num_requests = 0; // total arrivals this stream generates
+};
+
+// Per-stream outcome of a RunStreams run. Request slots are indexed by
+// arrival order (not completion order), so results are layout-identical
+// across shard counts.
+struct ClusterStreamResult {
+  std::string name;
+  std::string model;
+  sim::Duration finish_time;   // last response of this stream
+  int requests_completed = 0;  // kOk + kFailedRetried
+  std::vector<double> request_latency_ms;
+  std::vector<RequestStatus> request_status;
 };
 
 // A cluster of N independent serving::Experiment instances on ONE shared
@@ -75,7 +115,14 @@ class Cluster : private RouterTransport {
   std::vector<ClusterClientResult> Run(
       const std::vector<ClusterClientSpec>& clients);
 
+  // Runs aggregate request streams from t=0 to completion (open-loop only).
+  // Mutually exclusive with Run; may only be called once.
+  std::vector<ClusterStreamResult> RunStreams(
+      const std::vector<ClusterStreamSpec>& streams);
+
   sim::Environment& env() { return env_; }
+  const sim::ShardedEngine& engine() const { return engine_; }
+  std::size_t shards() const { return engine_.shards(); }
   Experiment& server(std::size_t i) { return *servers_.at(i); }
   std::size_t num_servers() const { return servers_.size(); }
   const Router& router() const { return *router_; }
@@ -94,12 +141,33 @@ class Cluster : private RouterTransport {
   sim::Task DispatchRequest(std::size_t client, const ClientSpec& spec,
                             std::size_t home, sim::Rng& rng,
                             sim::TimePoint arrival, RequestStatus& status);
+  // Sharded twin of DispatchRequest: identical decision sequence and
+  // virtual-time cost, but the serve section physically executes on the
+  // server's shard — the forward/response network legs become cross-shard
+  // hops through the engine's boundary channels.
+  sim::Task ShardedDispatch(std::size_t client, const ClientSpec& spec,
+                            std::size_t home, sim::Rng& rng,
+                            sim::TimePoint arrival, RequestStatus& status);
   // Bring client's tenant up on `server`, charging parameter streaming +
   // warm-up for a first arrival on a non-home server. `ok` is false on a
-  // transient allocation failure.
+  // transient allocation failure. Runs on the server's environment (the
+  // hub's in unsharded mode, where they are the same object).
   sim::Task EnsureTenant(std::size_t server, std::size_t client,
                          const ClientSpec& spec, std::size_t& tenant,
                          bool& ok);
+  // One aggregate stream: generates arrivals and fans each request out as
+  // an independent process (open loop — generation never blocks on serving).
+  sim::Task StreamProc(std::size_t stream, const ClusterStreamSpec& spec,
+                       std::uint64_t seed, ClusterStreamResult& out);
+  sim::Task StreamRequestProc(std::size_t stream, const ClusterStreamSpec& spec,
+                              std::size_t home, sim::Rng rng,
+                              sim::TimePoint arrival, int index,
+                              ClusterStreamResult& out);
+  void FinishRun();  // merge per-shard counters, export to the registry
+
+  std::size_t shard_of(std::size_t server) const {
+    return server % engine_.shards();
+  }
 
   void ArmServerFaults();
   void ApplyServerFault(const fault::ServerFaultEvent& e);
@@ -107,22 +175,36 @@ class Cluster : private RouterTransport {
   void StopAll();
 
   ClusterOptions options_;
-  sim::Environment env_;
+  // Declared before env_: env_ aliases the engine's hub environment, which
+  // is the one and only environment when shards == 1 (the unsharded path).
+  sim::ShardedEngine engine_;
+  sim::Environment& env_;
   std::vector<std::unique_ptr<Experiment>> servers_;
   std::unique_ptr<Router> router_;
   metrics::RouterCounters counters_;
   metrics::Tracer* tracer_;  // shared across servers via ServerOptions
 
   // Server fault state (virtual-time windows; a past deadline means clear).
+  // Written only by hub-resident code (fault callbacks on the hub queue);
+  // shard-resident readers are race-free because writes happen only while
+  // the workers are parked at a barrier, and temporally exact because every
+  // hub instant at or before a worker event's time has already executed.
   std::vector<sim::TimePoint> crashed_until_;
   std::vector<sim::TimePoint> hung_until_;
   std::vector<sim::TimePoint> part_to_until_;    // router -> server drops
   std::vector<sim::TimePoint> part_from_until_;  // server -> router drops
 
-  // (server, client) -> tenant index on that server.
-  std::map<std::pair<std::size_t, std::size_t>, std::size_t> tenant_of_;
+  // Per-server client -> tenant index. Sharded by server so concurrent
+  // first-arrival instantiations on different shards never touch the same
+  // map; the hub only reads them (retire loop) during hub instants.
+  std::vector<std::map<std::size_t, std::size_t>> tenant_of_;
+  // Per-server tenant-instantiation counts, merged into counters_ after the
+  // run (the shared counter would be a cross-thread race in sharded mode).
+  std::vector<std::uint64_t> tenant_instantiations_;
 
   std::size_t clients_running_ = 0;
+  std::size_t streams_running_ = 0;
+  std::size_t outstanding_requests_ = 0;
   sim::Duration makespan_;
   bool ran_ = false;
 };

@@ -1,6 +1,7 @@
 #include "sim/environment.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace olympian::sim {
@@ -135,7 +136,42 @@ void Environment::ExecuteEvent(const Event& e) {
   }
 }
 
+TimePoint Environment::NextEventTime() const {
+  const Event* next = PeekNext();
+  return next == nullptr ? Never() : next->t;
+}
+
+void Environment::AdvanceTo(TimePoint t) {
+  if (t < now_) {
+    throw std::logic_error("Environment::AdvanceTo: target is in the past");
+  }
+  if (NextEventTime() < t) {
+    throw std::logic_error(
+        "Environment::AdvanceTo: a pending event precedes the target");
+  }
+  now_ = t;
+}
+
+namespace {
+// RAII reentrancy guard: Run/RunUntil may rethrow a process error from any
+// exit, so the flag must be cleared on unwind too.
+struct RunningScope {
+  explicit RunningScope(bool& flag) : flag_(flag) {
+    if (flag_) {
+      throw std::logic_error(
+          "Environment::Run/RunUntil re-entered from inside an event "
+          "handler; shard loops own their deadline windows (see the "
+          "RunUntil contract in environment.h)");
+    }
+    flag_ = true;
+  }
+  ~RunningScope() { flag_ = false; }
+  bool& flag_;
+};
+}  // namespace
+
 void Environment::Run() {
+  RunningScope scope(running_);
   while (Step()) {
   }
   if (first_error_) {
@@ -144,6 +180,7 @@ void Environment::Run() {
 }
 
 bool Environment::RunUntil(TimePoint deadline) {
+  RunningScope scope(running_);
   for (;;) {
     const Event* next = PeekNext();
     if (next == nullptr) {

@@ -3,6 +3,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -114,6 +115,26 @@ class Environment {
   // Current virtual time.
   TimePoint Now() const { return now_; }
 
+  // Sentinel returned by NextEventTime() when the queue is empty: later than
+  // any schedulable instant.
+  static constexpr TimePoint Never() {
+    return TimePoint::FromNanos(std::numeric_limits<std::int64_t>::max());
+  }
+
+  // Timestamp of the next pending event, or Never() if the queue is empty.
+  // The sharded engine uses this to compute conservative synchronization
+  // horizons; it is also handy for tests.
+  TimePoint NextEventTime() const;
+
+  // Advance the clock to `t` without executing anything. Only legal when `t`
+  // is not in the past and no pending event precedes `t` (throws
+  // std::logic_error otherwise — skipping over an event would corrupt the
+  // trajectory). The sharded engine uses this to align a parked shard's
+  // clock with the hub before a hub instant, so state mutations the hub
+  // applies across the shard boundary schedule follow-ups at the correct
+  // time.
+  void AdvanceTo(TimePoint t);
+
   // Awaitable: suspend the calling process for `d` of virtual time.
   // A zero delay still yields through the event queue (a cooperative yield).
   auto Delay(Duration d) {
@@ -136,12 +157,26 @@ class Environment {
   // Run until the event queue drains. Throws the run's first unhandled
   // process error, if any (after draining) — see Process::Join for what
   // counts as unhandled.
+  //
+  // Not reentrant: calling Run/RunUntil from inside an event handler (a
+  // process resumed by this loop) throws std::logic_error. See RunUntil.
   void Run();
 
   // Run until the clock would pass `deadline` (events at exactly `deadline`
   // are executed). Returns true if the queue drained before the deadline.
   // Either way the clock ends at `deadline` (never earlier), so consecutive
   // RunUntil calls carve virtual time into contiguous windows.
+  //
+  // Contract: RunUntil drives the loop from the *outside* — it may only be
+  // called from non-coroutine code while no Run/RunUntil on this
+  // Environment is already on the stack. Nesting it inside an event handler
+  // would re-enter the dispatch loop mid-event and break the (time, seq)
+  // total order; processes that want to pause until a time use
+  // `co_await Delay(...)` instead. Under the sharded engine each shard's
+  // loop owns its deadline windows outright: only ShardedEngine::Run calls
+  // RunUntil on shard environments, one window at a time, so application
+  // code must never call Run/RunUntil on a shard environment. Violations
+  // throw std::logic_error.
   bool RunUntil(TimePoint deadline);
 
   // Number of spawned processes that have not yet completed.
@@ -282,6 +317,7 @@ class Environment {
   std::uint64_t events_executed_ = 0;
   std::size_t live_ = 0;
   bool tearing_down_ = false;
+  bool running_ = false;  // reentrancy guard for Run/RunUntil
   EventRing ring_;   // events at the current instant, FIFO
   TimerHeap heap_;   // future events, min (time, seq)
   std::vector<std::shared_ptr<detail::ProcessState>> processes_;

@@ -1,0 +1,199 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace olympian::sim {
+
+ShardedEngine::ShardedEngine(std::size_t shards, Duration lookahead)
+    : shards_(shards == 0 ? 1 : shards), lookahead_(lookahead) {
+  if (sharded() && lookahead_ <= Duration::Zero()) {
+    throw std::logic_error(
+        "ShardedEngine: sharded execution requires a positive lookahead "
+        "(the minimum cross-shard hop latency)");
+  }
+  const std::size_t envs = sharded() ? shards_ + 1 : 1;
+  envs_.reserve(envs);
+  for (std::size_t i = 0; i < envs; ++i) {
+    envs_.push_back(std::make_unique<Environment>());
+  }
+  if (sharded()) {
+    to_shard_.resize(shards_);
+    to_hub_.resize(shards_);
+    worker_errors_.resize(shards_);
+  }
+}
+
+ShardedEngine::~ShardedEngine() { StopWorkers(); }
+
+void ShardedEngine::Send(std::size_t shard, bool to_hub, Duration latency,
+                         std::coroutine_handle<> h) {
+  if (!sharded()) {
+    // Single-shard: the "hop" degenerates to a latency delay on the one
+    // queue, byte-identical to what the unsharded code path schedules.
+    Environment& env = hub();
+    env.ScheduleAt(env.Now() + latency, h);
+    return;
+  }
+  if (latency < lookahead_) {
+    throw std::logic_error(
+        "ShardedEngine: cross-shard hop latency below the engine lookahead "
+        "would violate the conservative horizon");
+  }
+  Environment& src = to_hub ? *envs_[shard + 1] : hub();
+  Channel& ch = to_hub ? to_hub_[shard] : to_shard_[shard];
+  ch.msgs.push_back(BoundaryEvent{src.Now() + latency, h});
+}
+
+void ShardedEngine::Deliver() {
+  // Hub -> worker: each channel is already in send (seq) order; a stable
+  // sort by arrival time yields (time, seq) — the documented merge order.
+  for (std::size_t k = 0; k < shards_; ++k) {
+    Channel& ch = to_shard_[k];
+    if (ch.msgs.empty()) continue;
+    std::stable_sort(ch.msgs.begin(), ch.msgs.end(),
+                     [](const BoundaryEvent& a, const BoundaryEvent& b) {
+                       return a.at < b.at;
+                     });
+    Environment& env = *envs_[k + 1];
+    for (const BoundaryEvent& m : ch.msgs) {
+      if (m.at < env.Now()) {
+        throw std::logic_error(
+            "ShardedEngine: boundary event arrives in the destination "
+            "shard's past (conservative horizon violated)");
+      }
+      env.ScheduleAt(m.at, m.h);
+    }
+    boundary_events_ += ch.msgs.size();
+    ch.msgs.clear();
+  }
+  // Worker -> hub: append channels in shard order (each in seq order), then
+  // stable-sort by arrival time: ties keep shard-then-seq order, giving the
+  // (time, shard, seq) total order the determinism contract documents.
+  merge_scratch_.clear();
+  for (std::size_t k = 0; k < shards_; ++k) {
+    Channel& ch = to_hub_[k];
+    merge_scratch_.insert(merge_scratch_.end(), ch.msgs.begin(),
+                          ch.msgs.end());
+    ch.msgs.clear();
+  }
+  if (merge_scratch_.empty()) return;
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const BoundaryEvent& a, const BoundaryEvent& b) {
+                     return a.at < b.at;
+                   });
+  Environment& env = hub();
+  for (const BoundaryEvent& m : merge_scratch_) {
+    if (m.at < env.Now()) {
+      throw std::logic_error(
+          "ShardedEngine: boundary event arrives in the hub's past "
+          "(conservative horizon violated)");
+    }
+    env.ScheduleAt(m.at, m.h);
+  }
+  boundary_events_ += merge_scratch_.size();
+}
+
+void ShardedEngine::StartWorkers() {
+  if (!threads_.empty()) return;
+  // Capture the spawn-time phase on this thread: a worker that first reads
+  // phase_ only after the engine already opened a window must still see that
+  // window as "new", or it would sleep through it and deadlock the barrier.
+  const std::uint64_t start_phase = phase_.load(std::memory_order_relaxed);
+  threads_.reserve(shards_);
+  for (std::size_t k = 0; k < shards_; ++k) {
+    threads_.emplace_back([this, k, start_phase] { WorkerMain(k, start_phase); });
+  }
+}
+
+void ShardedEngine::StopWorkers() {
+  if (threads_.empty()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  phase_.fetch_add(1, std::memory_order_release);
+  phase_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+void ShardedEngine::WorkerMain(std::size_t k, std::uint64_t seen) {
+  Environment& env = *envs_[k + 1];
+  for (;;) {
+    phase_.wait(seen, std::memory_order_acquire);
+    seen = phase_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    try {
+      env.RunUntil(window_deadline_);
+    } catch (...) {
+      worker_errors_[k] = std::current_exception();
+    }
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    remaining_.notify_one();
+  }
+}
+
+void ShardedEngine::RunWindow(TimePoint deadline) {
+  window_deadline_ = deadline;
+  remaining_.store(static_cast<std::uint32_t>(shards_),
+                   std::memory_order_relaxed);
+  phase_.fetch_add(1, std::memory_order_release);
+  phase_.notify_all();
+  for (;;) {
+    const std::uint32_t left = remaining_.load(std::memory_order_acquire);
+    if (left == 0) break;
+    remaining_.wait(left, std::memory_order_acquire);
+  }
+  for (std::size_t k = 0; k < shards_; ++k) {
+    if (worker_errors_[k]) {
+      std::rethrow_exception(std::exchange(worker_errors_[k], nullptr));
+    }
+  }
+}
+
+void ShardedEngine::Run() {
+  if (!sharded()) {
+    hub().Run();
+    return;
+  }
+  StartWorkers();
+  for (;;) {
+    Deliver();
+    const TimePoint hub_next = hub().NextEventTime();
+    TimePoint worker_next = Environment::Never();
+    for (std::size_t k = 0; k < shards_; ++k) {
+      worker_next = std::min(worker_next, envs_[k + 1]->NextEventTime());
+    }
+    if (hub_next == Environment::Never() &&
+        worker_next == Environment::Never()) {
+      break;  // every queue and channel drained
+    }
+    if (hub_next <= worker_next) {
+      // Hub instant: align every worker clock first so hub code touching
+      // shard-resident objects (fault injection, shutdown) schedules
+      // follow-ups at the current instant, then run the whole instant —
+      // including same-instant cascades — serially on this thread.
+      ++hub_instants_;
+      for (std::size_t k = 0; k < shards_; ++k) {
+        envs_[k + 1]->AdvanceTo(hub_next);
+      }
+      hub().RunUntil(hub_next);
+    } else {
+      // Parallel window [worker_next, end): conservative because every
+      // boundary message sent from inside the window arrives at or after
+      // worker_next + lookahead >= end, and the hub stays parked (its next
+      // event is at end or later).
+      ++sync_windows_;
+      const TimePoint horizon = worker_next + lookahead_;
+      const TimePoint end = hub_next < horizon ? hub_next : horizon;
+      RunWindow(end - Duration::Nanos(1));
+    }
+  }
+}
+
+std::uint64_t ShardedEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& env : envs_) total += env->events_executed();
+  return total;
+}
+
+}  // namespace olympian::sim

@@ -1,0 +1,157 @@
+#pragma once
+
+// Conservative parallel discrete-event engine for hub-and-spoke topologies.
+//
+// A ShardedEngine partitions one experiment across `shards` worker shards
+// plus a hub shard (index 0 of the internal environment array). Each shard
+// owns a full Environment — its own two-tier event queue and virtual clock —
+// and the engine advances them in lock-step:
+//
+//   * Hub instants. When the hub's next event is not later than every
+//     worker's next event, the engine parks all workers (aligning their
+//     clocks with AdvanceTo), then executes ALL hub events at exactly that
+//     instant on the calling thread. The hub therefore runs serially with
+//     exclusive access to every shard's memory — router probes may read
+//     server state, fault injection may mutate GPUs on any shard — and its
+//     reads are temporally exact because every worker has executed all of
+//     its events strictly before the instant and none at or after it.
+//   * Parallel windows. Otherwise the earliest pending work is on a worker.
+//     All workers run concurrently up to (but excluding) the conservative
+//     horizon H = min(hub_next, workers_next + lookahead): no event inside
+//     the window can be affected by a cross-shard message, because every
+//     boundary hop carries latency >= lookahead (enforced by Send), so
+//     anything sent from inside the window lands at or after H.
+//
+// Boundary events cross shards through per-pair FIFO channels, drained
+// between phases by the engine thread and merged into the destination queue
+// in (time, source shard, channel seq) order — a fixed total order, so the
+// trajectory is independent of thread scheduling. With shards == 1 the
+// engine owns a single Environment and Run() is literally Environment::Run:
+// byte-identical to the unsharded engine, which keeps golden tests pinned.
+//
+// The halo-exchange shape (advance to horizon, exchange boundary events,
+// repeat) follows the classic conservative-window decomposition; the star
+// topology removes the need for null messages because workers never talk to
+// each other — all cross-shard interaction flows through the hub.
+
+#include <atomic>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/time.h"
+
+namespace olympian::sim {
+
+class ShardedEngine {
+ public:
+  // `lookahead` is the minimum cross-shard latency (e.g. the cluster's
+  // router<->server network delay); it must be > 0 when shards > 1, and every
+  // hop's latency must be >= it. With shards <= 1 it is ignored.
+  explicit ShardedEngine(std::size_t shards,
+                         Duration lookahead = Duration::Zero());
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  std::size_t shards() const { return shards_; }
+  bool sharded() const { return shards_ > 1; }
+
+  // The hub environment (shard 0: router, clients, cluster bookkeeping).
+  Environment& hub() { return *envs_.front(); }
+  const Environment& hub() const { return *envs_.front(); }
+
+  // Worker shard k's environment, k in [0, shards). With shards == 1 this
+  // is the hub itself: everything shares one queue, as before sharding.
+  Environment& shard_env(std::size_t k) {
+    return sharded() ? *envs_[k + 1] : *envs_.front();
+  }
+
+  // Awaitable: move the running coroutine from the hub onto worker shard
+  // `k`, resuming `latency` later on that shard's clock. Must be awaited
+  // from hub-resident code. With shards == 1, a plain Delay on the hub.
+  auto HopToShard(std::size_t k, Duration latency) {
+    return HopAwaiter{this, k, /*to_hub=*/false, latency};
+  }
+
+  // Awaitable: move the running coroutine from worker shard `k` back onto
+  // the hub, resuming `latency` later on the hub's clock. Must be awaited
+  // from code resident on shard `k`. With shards == 1, a plain Delay.
+  auto HopToHub(std::size_t k, Duration latency) {
+    return HopAwaiter{this, k, /*to_hub=*/true, latency};
+  }
+
+  // Run every shard to completion (all queues drained, all channels empty).
+  // Callable repeatedly — the cluster layer runs traffic, then schedules
+  // shutdown work and runs again to drain it. Rethrows the first process
+  // error (hub first, then workers in shard order).
+  void Run();
+
+  // --- counters (stable across runs; exported into BENCH_*.json) ----------
+  // Parallel windows executed.
+  std::uint64_t sync_windows() const { return sync_windows_; }
+  // Serial hub instants executed.
+  std::uint64_t hub_instants() const { return hub_instants_; }
+  // Events that crossed a shard boundary through a channel.
+  std::uint64_t boundary_events() const { return boundary_events_; }
+  // Events executed across all shards.
+  std::uint64_t events_executed() const;
+
+ private:
+  struct BoundaryEvent {
+    TimePoint at;
+    std::coroutine_handle<> h;
+  };
+  struct Channel {
+    std::vector<BoundaryEvent> msgs;  // FIFO: push order is channel seq
+  };
+  struct HopAwaiter {
+    ShardedEngine* eng;
+    std::size_t shard;
+    bool to_hub;
+    Duration latency;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      eng->Send(shard, to_hub, latency, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  void Send(std::size_t shard, bool to_hub, Duration latency,
+            std::coroutine_handle<> h);
+  void Deliver();  // drain all channels into destination queues
+  void StartWorkers();
+  void StopWorkers();
+  void RunWindow(TimePoint deadline);  // run all workers until `deadline`
+  void WorkerMain(std::size_t k, std::uint64_t seen_phase);
+
+  std::size_t shards_;
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Environment>> envs_;  // [hub, worker 0..N-1]
+  std::vector<Channel> to_shard_;  // hub -> worker k, written by engine thread
+  std::vector<Channel> to_hub_;    // worker k -> hub, written by worker k
+  std::vector<BoundaryEvent> merge_scratch_;
+
+  // Window barrier. The engine thread publishes a deadline, bumps phase_
+  // (release) and wakes the workers; each worker runs its window, then
+  // decrements remaining_ (acq_rel) and wakes the engine. The acquire/
+  // release pairs order all shard memory between phases, so cross-shard
+  // reads during hub instants and deliveries are data-race-free.
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> worker_errors_;
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<std::uint32_t> remaining_{0};
+  std::atomic<bool> stop_{false};
+  TimePoint window_deadline_;  // published before phase_, read after
+
+  std::uint64_t sync_windows_ = 0;
+  std::uint64_t hub_instants_ = 0;
+  std::uint64_t boundary_events_ = 0;
+};
+
+}  // namespace olympian::sim

@@ -378,6 +378,126 @@ TEST(ClusterTest, DeterministicAcrossRepeats) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Sharded execution: the same cluster scenarios with the servers partitioned
+// across engine shards. Golden bit-identity against the single-queue path is
+// pinned in golden_determinism_test; these cover the cluster-level contracts
+// on top of it.
+
+TEST(ClusterTest, CrossShardFailoverSpendsNoRetryBudget) {
+  // Two servers on two different shards. Server 0 crashes mid-traffic: its
+  // victims must re-admit on server 1 — which lives on ANOTHER shard — via
+  // the free-failover contract, crossing the shard boundary both ways.
+  serving::ClusterOptions opts = SmallCluster(2);
+  opts.shards = 2;
+  opts.faults.Crash(At(30), Duration::Millis(80), /*server=*/0);
+  serving::Cluster cluster(opts);
+  ASSERT_EQ(cluster.shards(), 2u);
+  std::vector<serving::ClusterClientSpec> clients(
+      4, PoissonClient("googlenet", 150.0, 20));
+  const auto results = cluster.Run(clients);
+  // Every request lands despite the crash.
+  EXPECT_EQ(ServedAll(results), TotalAll(results));
+  EXPECT_EQ(CountAll(results, serving::RequestStatus::kFailed), 0);
+  EXPECT_EQ(CountAll(results, serving::RequestStatus::kRejected), 0);
+  // Victims crossed shards: failover fired, and it was free (no budgeted
+  // retries), with lazy tenant instantiation on the survivor's shard.
+  EXPECT_GT(cluster.counters().requests_failed_over, 0u);
+  EXPECT_EQ(cluster.counters().retries, 0u);
+  EXPECT_GT(cluster.counters().tenant_instantiations, 0u);
+  // The engine actually ran parallel windows and crossed boundaries.
+  EXPECT_GT(cluster.engine().sync_windows(), 0u);
+  EXPECT_GT(cluster.engine().boundary_events(), 0u);
+}
+
+TEST(ClusterTest, ShardedModeRejectsUnpartitionableState) {
+  // Zero network delay: no lookahead, no conservative window.
+  serving::ClusterOptions no_delay = SmallCluster(2);
+  no_delay.shards = 2;
+  no_delay.router.net_delay = Duration::Zero();
+  EXPECT_THROW(serving::Cluster{no_delay}, std::invalid_argument);
+  // Alloc faults: the instantiation-failure path needs a zero-latency hop.
+  serving::ClusterOptions alloc = SmallCluster(2);
+  alloc.shards = 2;
+  alloc.server.faults.AllocFault(At(10), Duration::Millis(5));
+  EXPECT_THROW(serving::Cluster{alloc}, std::invalid_argument);
+  // Both configurations are fine unsharded.
+  no_delay.shards = 1;
+  alloc.shards = 1;
+  EXPECT_NO_THROW(serving::Cluster{no_delay});
+  EXPECT_NO_THROW(serving::Cluster{alloc});
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate arrival streams: one generator standing in for a population.
+
+TEST(ArrivalsTest, AggregateStreamDrawsReproducibleClientIds) {
+  serving::ArrivalSpec spec;
+  spec.kind = serving::ArrivalSpec::Kind::kPoisson;
+  spec.rate_rps = 500.0;
+  serving::AggregateArrivalProcess a(spec, 1000000);
+  serving::AggregateArrivalProcess b(spec, 1000000);
+  sim::Rng ra(5), rb(5);
+  TimePoint prev;
+  for (int i = 0; i < 300; ++i) {
+    const TimePoint t = a.Next(ra);
+    const std::uint64_t id = a.NextClient(ra);
+    EXPECT_EQ(t, b.Next(rb));
+    EXPECT_EQ(id, b.NextClient(rb));
+    EXPECT_GT(t, prev);
+    EXPECT_LT(id, 1000000u);
+    prev = t;
+  }
+}
+
+TEST(ClusterTest, StreamRunServesAggregateTraffic) {
+  serving::ClusterOptions opts = SmallCluster(2);
+  serving::Cluster cluster(opts);
+  serving::ClusterStreamSpec stream;
+  stream.request.model = "googlenet";
+  stream.request.batch = 10;
+  stream.arrivals.kind = serving::ArrivalSpec::Kind::kPoisson;
+  stream.arrivals.rate_rps = 200.0;
+  stream.modeled_clients = 100000;  // population >> in-flight requests
+  stream.num_requests = 40;
+  const auto results = cluster.RunStreams({stream});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].requests_completed, 40);
+  EXPECT_EQ(results[0].request_status.size(), 40u);
+  for (const double ms : results[0].request_latency_ms) EXPECT_GT(ms, 0.0);
+  // Ids spread across both servers' homes, so both served traffic.
+  EXPECT_EQ(cluster.counters().requests_ok, 40u);
+}
+
+TEST(ClusterTest, StreamRunIsBitIdenticalAcrossShardCounts) {
+  const auto run = [](std::size_t shards) {
+    serving::ClusterOptions opts = SmallCluster(2);
+    opts.seed = 23;
+    opts.shards = shards;
+    opts.faults.Crash(At(50), Duration::Millis(60), /*server=*/1);
+    serving::Cluster cluster(opts);
+    serving::ClusterStreamSpec stream;
+    stream.request.model = "googlenet";
+    stream.request.batch = 10;
+    stream.arrivals.kind = serving::ArrivalSpec::Kind::kPoisson;
+    stream.arrivals.rate_rps = 150.0;
+    stream.modeled_clients = 50000;
+    stream.num_requests = 30;
+    return cluster.RunStreams({stream});
+  };
+  const auto seq = run(1);
+  const auto par = run(2);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].finish_time, par[i].finish_time);
+    EXPECT_EQ(seq[i].requests_completed, par[i].requests_completed);
+    ASSERT_EQ(seq[i].request_latency_ms, par[i].request_latency_ms);
+    for (std::size_t r = 0; r < seq[i].request_status.size(); ++r) {
+      EXPECT_EQ(seq[i].request_status[r], par[i].request_status[r]);
+    }
+  }
+}
+
 TEST(ClusterTest, RandomServerFaultPlanIsSeedStable) {
   fault::ServerFaultPlan::RandomOptions ro;
   ro.num_servers = 4;

@@ -251,6 +251,76 @@ TEST(GoldenDeterminismTest, ClusterMatchesGoldenAndReplays) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded engine: partitioning the cluster across worker threads is a pure
+// execution-strategy change — the virtual-time trajectory must be BIT-
+// IDENTICAL to the single-queue run, for any shard count, on any host
+// (thread scheduling must not leak into outcomes). A 4-server workload with
+// a crash plus an asymmetric partition exercises hub instants (faults,
+// probes, routing) interleaved with parallel windows (serving), cross-shard
+// failover, and lost-response re-execution. `events` is excluded from the
+// cross-shard comparison only in that it counts per-environment; summed
+// across shards it too must match the unsharded count (same events, merely
+// executed on different queues).
+
+GoldenClusterRun RunShardedClusterWorkload(std::size_t shards) {
+  serving::ClusterOptions opts;
+  opts.num_servers = 4;
+  opts.server.num_gpus = 1;
+  opts.server.pool_threads = 100;
+  opts.seed = 11;
+  opts.shards = shards;
+  opts.faults.Crash(sim::TimePoint() + sim::Duration::Millis(100),
+                    sim::Duration::Millis(400), /*server=*/0);
+  opts.faults.Partition(sim::TimePoint() + sim::Duration::Millis(300),
+                        sim::Duration::Millis(300), /*server=*/2,
+                        fault::PartitionDirection::kToServer);
+  serving::Cluster cluster(opts);
+  serving::ClusterClientSpec c;
+  c.request.model = "googlenet";
+  c.request.batch = 10;
+  c.request.num_batches = 5;
+  c.arrivals.kind = serving::ArrivalSpec::Kind::kPoisson;
+  c.arrivals.rate_rps = 120.0;
+  const auto results =
+      cluster.Run(std::vector<serving::ClusterClientSpec>(8, c));
+  GoldenClusterRun out;
+  for (const auto& r : results) {
+    out.finish_ns.push_back(r.finish_time.nanos());
+    out.completed.push_back(r.requests_completed);
+  }
+  out.events = cluster.engine().events_executed();
+  out.routed = cluster.counters().requests_routed;
+  out.ok = cluster.counters().requests_ok;
+  out.failed_over = cluster.counters().requests_failed_over;
+  out.transitions = cluster.counters().server_transitions;
+  return out;
+}
+
+TEST(GoldenDeterminismTest, ShardedClusterBitIdenticalToUnsharded) {
+  const GoldenClusterRun seq = RunShardedClusterWorkload(1);
+  const GoldenClusterRun par = RunShardedClusterWorkload(4);
+  const GoldenClusterRun par2 = RunShardedClusterWorkload(4);
+  if (PrintRequested()) {
+    PrintGoldenCluster("kGoldenShardedCluster(seq)", seq);
+    PrintGoldenCluster("kGoldenShardedCluster(par)", par);
+    return;
+  }
+  EXPECT_EQ(par, par2)
+      << "same-seed 4-shard replay diverged: thread scheduling leaked into "
+         "the trajectory";
+  EXPECT_EQ(par, seq)
+      << "4-shard run diverged from the single-queue run (same seed)";
+}
+
+TEST(GoldenDeterminismTest, ShardedClusterWithTwoShardsMatchesToo) {
+  // A shard count that does not divide the server count: servers 0 and 2
+  // share shard 0, servers 1 and 3 share shard 1.
+  const GoldenClusterRun seq = RunShardedClusterWorkload(1);
+  const GoldenClusterRun par = RunShardedClusterWorkload(2);
+  EXPECT_EQ(par, seq);
+}
+
+// ---------------------------------------------------------------------------
 // Wave-train coalescing: collapsing k identical back-to-back waves into one
 // timer event is a pure event-count optimization — it must never move a
 // finish time. The serving workload above never triggers it (production

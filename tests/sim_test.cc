@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "sim/environment.h"
 #include "sim/random.h"
+#include "sim/shard.h"
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "sim/time.h"
@@ -630,6 +632,129 @@ TEST(EnvironmentTest, RunAfterRunUntilContinuesCleanly) {
   cv.NotifyAll();
   env.Run();
   EXPECT_EQ(stage, 3);
+}
+
+TEST(EnvironmentTest, NextEventTimeTracksQueueHead) {
+  Environment env;
+  EXPECT_EQ(env.NextEventTime(), Environment::Never());
+  env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(5));
+  }(env));
+  // The spawn resume is queued at the current instant.
+  EXPECT_EQ(env.NextEventTime(), TimePoint());
+  env.RunUntil(TimePoint() + Duration::Millis(1));
+  EXPECT_EQ(env.NextEventTime(), TimePoint() + Duration::Millis(5));
+  env.Run();
+  EXPECT_EQ(env.NextEventTime(), Environment::Never());
+}
+
+TEST(EnvironmentTest, AdvanceToMovesClockButRefusesToSkipEvents) {
+  Environment env;
+  env.AdvanceTo(TimePoint() + Duration::Millis(2));
+  EXPECT_EQ(env.Now(), TimePoint() + Duration::Millis(2));
+  // Backward is illegal.
+  EXPECT_THROW(env.AdvanceTo(TimePoint() + Duration::Millis(1)),
+               std::logic_error);
+  // Skipping over a pending event is illegal.
+  env.Spawn([](Environment& e) -> Task {
+    co_await e.Delay(Duration::Millis(5));
+  }(env));
+  EXPECT_THROW(env.AdvanceTo(TimePoint() + Duration::Millis(3)),
+               std::logic_error);
+}
+
+TEST(EnvironmentTest, NestedRunUntilFromEventHandlerThrows) {
+  // The RunUntil contract: only non-coroutine code drives the loop, one
+  // window at a time — shard loops own their deadline windows. Re-entering
+  // the dispatch loop from inside an event handler must throw.
+  Environment env;
+  bool threw = false;
+  env.Spawn([](Environment& e, bool& t) -> Task {
+    co_await e.Delay(Duration::Micros(1));
+    try {
+      e.RunUntil(TimePoint() + Duration::Millis(1));
+    } catch (const std::logic_error&) {
+      t = true;
+    }
+    co_return;
+  }(env, threw));
+  env.Run();
+  EXPECT_TRUE(threw);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine unit tests. The cluster-level bit-identity goldens live in
+// golden_determinism_test; these pin the engine mechanics in isolation.
+
+TEST(ShardedEngineTest, SingleShardIsThePlainEnvironment) {
+  ShardedEngine engine(1);
+  EXPECT_FALSE(engine.sharded());
+  EXPECT_EQ(&engine.hub(), &engine.shard_env(0));
+  int done = 0;
+  engine.hub().Spawn([](Environment& e, int& d) -> Task {
+    co_await e.Delay(Duration::Millis(1));
+    ++d;
+  }(engine.hub(), done));
+  engine.Run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(engine.sync_windows(), 0u);
+  EXPECT_EQ(engine.boundary_events(), 0u);
+}
+
+TEST(ShardedEngineTest, ShardedRequiresPositiveLookahead) {
+  EXPECT_THROW(ShardedEngine(2, Duration::Zero()), std::logic_error);
+}
+
+TEST(ShardedEngineTest, HopsRoundTripWithExactLatency) {
+  ShardedEngine engine(2, Duration::Micros(100));
+  std::vector<std::int64_t> stamps;
+  engine.hub().Spawn(
+      [](ShardedEngine& eng, std::vector<std::int64_t>& out) -> Task {
+        out.push_back(eng.hub().Now().nanos());
+        co_await eng.HopToShard(1, Duration::Micros(100));
+        out.push_back(eng.shard_env(1).Now().nanos());
+        co_await eng.shard_env(1).Delay(Duration::Millis(2));
+        co_await eng.HopToHub(1, Duration::Micros(150));
+        out.push_back(eng.hub().Now().nanos());
+      }(engine, stamps));
+  engine.Run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 0);
+  EXPECT_EQ(stamps[1], 100000);            // arrival after the forward hop
+  EXPECT_EQ(stamps[2], 100000 + 2000000 + 150000);
+  EXPECT_GT(engine.boundary_events(), 0u);
+}
+
+TEST(ShardedEngineTest, HopLatencyBelowLookaheadThrows) {
+  ShardedEngine engine(2, Duration::Micros(100));
+  engine.hub().Spawn([](ShardedEngine& eng) -> Task {
+    co_await eng.HopToShard(0, Duration::Micros(50));  // < lookahead
+  }(engine));
+  EXPECT_THROW(engine.Run(), std::logic_error);
+}
+
+TEST(ShardedEngineTest, BoundaryMergeOrderIsTimeThenShardThenSeq) {
+  // Two shards send same-instant messages to the hub; the hub must observe
+  // them in (time, shard, seq) order no matter the thread interleaving.
+  ShardedEngine engine(2, Duration::Micros(10));
+  std::vector<int> order;
+  for (int shard = 1; shard >= 0; --shard) {  // spawn in REVERSE shard order
+    for (int i = 0; i < 2; ++i) {
+      engine.shard_env(static_cast<std::size_t>(shard))
+          .Spawn([](ShardedEngine& eng, int sh, int idx,
+                    std::vector<int>& out) -> Task {
+            co_await eng.shard_env(static_cast<std::size_t>(sh))
+                .Delay(Duration::Millis(1));
+            co_await eng.HopToHub(static_cast<std::size_t>(sh),
+                                  Duration::Micros(10));
+            out.push_back(sh * 10 + idx);
+          }(engine, shard, i, order));
+    }
+  }
+  engine.Run();
+  // All four arrive at the same hub instant: shard 0 before shard 1, and
+  // within a shard, send (seq) order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11}));
 }
 
 }  // namespace
