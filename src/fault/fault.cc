@@ -17,6 +17,8 @@ const char* ToString(FaultKind kind) {
       return "device-reset";
     case FaultKind::kAllocFault:
       return "alloc-fault";
+    case FaultKind::kCapacityFault:
+      return "capacity-fault";
   }
   return "unknown";
 }
@@ -60,6 +62,19 @@ FaultPlan& FaultPlan::AllocFault(sim::TimePoint at, sim::Duration duration,
                                .at = at,
                                .gpu_index = gpu_index,
                                .duration = duration});
+  return *this;
+}
+
+FaultPlan& FaultPlan::CapacityFault(sim::TimePoint at, sim::Duration duration,
+                                    double capacity, std::size_t gpu_index) {
+  if (!(capacity > 0.0) || capacity > 1.0) {
+    throw std::invalid_argument("capacity multiplier must be in (0, 1]");
+  }
+  events_.push_back(FaultEvent{.kind = FaultKind::kCapacityFault,
+                               .at = at,
+                               .gpu_index = gpu_index,
+                               .duration = duration,
+                               .capacity = capacity});
   return *this;
 }
 
@@ -132,6 +147,19 @@ FaultPlan FaultPlan::Random(const RandomOptions& options, std::uint64_t seed) {
                                      (-std::log(1.0 - rng.NextDouble())),
                                  gpu);
                });
+  DrawArrivals(rng, options.expected_capacity_faults, options.horizon,
+               [&](sim::TimePoint at) {
+                 const auto gpu = static_cast<std::size_t>(rng.UniformInt(
+                     0, static_cast<std::int64_t>(options.num_gpus) - 1));
+                 const double cap =
+                     options.capacity_low +
+                     (options.capacity_high - options.capacity_low) *
+                         rng.NextDouble();
+                 plan.CapacityFault(at,
+                                    options.mean_capacity_window *
+                                        (-std::log(1.0 - rng.NextDouble())),
+                                    cap, gpu);
+               });
   // Deterministic application order regardless of draw order.
   std::stable_sort(plan.events_.begin(), plan.events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -148,6 +176,10 @@ const char* ToString(ServerFaultKind kind) {
       return "server-hang";
     case ServerFaultKind::kPartition:
       return "partition";
+    case ServerFaultKind::kCapacityLoss:
+      return "capacity-loss";
+    case ServerFaultKind::kJitter:
+      return "jitter";
   }
   return "unknown";
 }
@@ -194,6 +226,35 @@ ServerFaultPlan& ServerFaultPlan::Partition(sim::TimePoint at,
   return *this;
 }
 
+ServerFaultPlan& ServerFaultPlan::CapacityLoss(sim::TimePoint at,
+                                               sim::Duration window,
+                                               std::size_t server,
+                                               double capacity) {
+  if (!(capacity > 0.0) || capacity > 1.0) {
+    throw std::invalid_argument("capacity multiplier must be in (0, 1]");
+  }
+  events_.push_back(ServerFaultEvent{.kind = ServerFaultKind::kCapacityLoss,
+                                     .at = at,
+                                     .server = server,
+                                     .duration = window,
+                                     .capacity = capacity});
+  return *this;
+}
+
+ServerFaultPlan& ServerFaultPlan::Jitter(sim::TimePoint at,
+                                         sim::Duration window,
+                                         std::size_t server, double factor) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("jitter factor must be >= 1");
+  }
+  events_.push_back(ServerFaultEvent{.kind = ServerFaultKind::kJitter,
+                                     .at = at,
+                                     .server = server,
+                                     .duration = window,
+                                     .factor = factor});
+  return *this;
+}
+
 ServerFaultPlan ServerFaultPlan::Random(const RandomOptions& options,
                                         std::uint64_t seed) {
   if (options.num_servers < 1) {
@@ -227,6 +288,28 @@ ServerFaultPlan ServerFaultPlan::Random(const RandomOptions& options,
                                 options.mean_partition *
                                     (-std::log(1.0 - rng.NextDouble())),
                                 draw_server(), dir);
+               });
+  DrawArrivals(rng, options.expected_capacity_losses, options.horizon,
+               [&](sim::TimePoint at) {
+                 const double cap =
+                     options.capacity_low +
+                     (options.capacity_high - options.capacity_low) *
+                         rng.NextDouble();
+                 plan.CapacityLoss(at,
+                                   options.mean_capacity_window *
+                                       (-std::log(1.0 - rng.NextDouble())),
+                                   draw_server(), cap);
+               });
+  DrawArrivals(rng, options.expected_jitter, options.horizon,
+               [&](sim::TimePoint at) {
+                 const double factor =
+                     options.jitter_factor_low +
+                     (options.jitter_factor_high - options.jitter_factor_low) *
+                         rng.NextDouble();
+                 plan.Jitter(at,
+                             options.mean_jitter_window *
+                                 (-std::log(1.0 - rng.NextDouble())),
+                             draw_server(), factor);
                });
   std::stable_sort(plan.events_.begin(), plan.events_.end(),
                    [](const ServerFaultEvent& a, const ServerFaultEvent& b) {
@@ -286,6 +369,10 @@ void FaultInjector::Apply(const FaultEvent& e) {
     case FaultKind::kAllocFault:
       gpu.InjectAllocFault(e.duration);
       if (counters_ != nullptr) ++counters_->alloc_fault_windows;
+      break;
+    case FaultKind::kCapacityFault:
+      gpu.ThrottleCapacity(e.capacity, e.duration);
+      if (counters_ != nullptr) ++counters_->capacity_fault_windows;
       break;
   }
   ++events_applied_;

@@ -27,6 +27,11 @@ enum class FaultKind : std::uint8_t {
   kDeviceReset,
   // AllocateMemory on the device fails transiently for `duration`.
   kAllocFault,
+  // Gray failure: the device keeps serving but at `capacity` (in (0, 1])
+  // of its normal speed for `duration` — thermal throttle, ECC remap,
+  // partial SM loss. Kernel wave durations stretch by 1/capacity; nothing
+  // is push-announced, so detection must come from measured latency.
+  kCapacityFault,
 };
 
 const char* ToString(FaultKind kind);
@@ -37,9 +42,12 @@ struct FaultEvent {
   sim::TimePoint at;
   std::size_t gpu_index = 0;
   gpusim::StreamId stream = -1;  // kKernelFailure only
-  // kDeviceHang / kAllocFault: window length. kDeviceReset: outage during
-  // which the device stays down (zero = instant reset, legacy semantics).
+  // kDeviceHang / kAllocFault / kCapacityFault: window length.
+  // kDeviceReset: outage during which the device stays down (zero =
+  // instant reset, legacy semantics).
   sim::Duration duration;
+  // kCapacityFault only: fractional speed multiplier in (0, 1].
+  double capacity = 1.0;
 };
 
 // How long recovery takes once a reset outage ends. Consumed by the serving
@@ -73,6 +81,10 @@ class FaultPlan {
                          std::size_t gpu_index);
   FaultPlan& AllocFault(sim::TimePoint at, sim::Duration duration,
                         std::size_t gpu_index = 0);
+  // Fractional-capacity window: the device runs at `capacity` (in (0, 1])
+  // of normal speed for `duration`.
+  FaultPlan& CapacityFault(sim::TimePoint at, sim::Duration duration,
+                           double capacity, std::size_t gpu_index = 0);
 
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
@@ -93,6 +105,13 @@ class FaultPlan {
     sim::Duration mean_reset_outage = sim::Duration::Zero();
     double expected_alloc_faults = 0.0;
     sim::Duration mean_alloc_window = sim::Duration::Millis(10);
+    // Fractional-capacity windows; zero expected events draws no extra
+    // random numbers, preserving existing plans bit-for-bit.
+    double expected_capacity_faults = 0.0;
+    sim::Duration mean_capacity_window = sim::Duration::Millis(200);
+    // Multiplier drawn uniformly from [capacity_low, capacity_high].
+    double capacity_low = 0.25;
+    double capacity_high = 0.75;
   };
 
   // Draw a plan from `seed`: same seed, same plan, bit-for-bit — fault
@@ -124,6 +143,14 @@ enum class ServerFaultKind : std::uint8_t {
   // `duration`: kToServer drops requests and probes on the way in,
   // kFromServer drops responses on the way out, kBoth drops both.
   kPartition,
+  // Gray failure: every device of the server runs at `capacity` (in
+  // (0, 1]) of normal speed for `duration`. The server stays up and keeps
+  // answering probes — only measured latency reveals the degradation.
+  kCapacityLoss,
+  // Gray failure: network jitter between the router and the server —
+  // every router<->server hop (requests, responses, probes) is stretched
+  // by `factor` (>= 1) for `duration`. Nothing is dropped.
+  kJitter,
 };
 
 const char* ToString(ServerFaultKind kind);
@@ -136,8 +163,10 @@ struct ServerFaultEvent {
   ServerFaultKind kind = ServerFaultKind::kCrash;
   sim::TimePoint at;
   std::size_t server = 0;
-  sim::Duration duration;  // outage / hang / partition window length
+  sim::Duration duration;  // outage / hang / partition / gray window length
   PartitionDirection direction = PartitionDirection::kBoth;  // kPartition only
+  double capacity = 1.0;  // kCapacityLoss only: speed multiplier in (0, 1]
+  double factor = 1.0;    // kJitter only: hop-delay multiplier >= 1
 };
 
 // Declarative schedule of server-level faults; fluent adders or a seeded
@@ -151,6 +180,12 @@ class ServerFaultPlan {
   ServerFaultPlan& Partition(sim::TimePoint at, sim::Duration window,
                              std::size_t server,
                              PartitionDirection direction);
+  // Gray faults: fractional capacity on every device of `server`, and
+  // network jitter stretching router<->server hops by `factor`.
+  ServerFaultPlan& CapacityLoss(sim::TimePoint at, sim::Duration window,
+                                std::size_t server, double capacity);
+  ServerFaultPlan& Jitter(sim::TimePoint at, sim::Duration window,
+                          std::size_t server, double factor);
 
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
@@ -165,6 +200,16 @@ class ServerFaultPlan {
     sim::Duration mean_hang = sim::Duration::Millis(50);
     double expected_partitions = 0.0;
     sim::Duration mean_partition = sim::Duration::Millis(100);
+    // Gray faults; zero expected events draws no extra random numbers,
+    // preserving existing plans bit-for-bit.
+    double expected_capacity_losses = 0.0;
+    sim::Duration mean_capacity_window = sim::Duration::Millis(300);
+    double capacity_low = 0.25;   // multiplier drawn uniformly from
+    double capacity_high = 0.75;  // [capacity_low, capacity_high]
+    double expected_jitter = 0.0;
+    sim::Duration mean_jitter_window = sim::Duration::Millis(200);
+    double jitter_factor_low = 2.0;   // factor drawn uniformly from
+    double jitter_factor_high = 8.0;  // [jitter_factor_low, jitter_factor_high]
   };
 
   // Draw a plan from `seed`: same seed, same plan, bit-for-bit.

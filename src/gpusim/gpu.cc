@@ -148,6 +148,17 @@ std::int64_t Gpu::CoalescibleWaves(const Kernel* k, sim::Duration d,
   // the exact uncoalesced semantics.
   std::int64_t m = max_waves;
   const sim::TimePoint now = env_.Now();
+  if (now < capacity_until_) {
+    // Every train wave must *start* while the capacity window is still
+    // open: wave j begins at now + (j-1)*d, and a wave starting at or
+    // after the window close would dispatch at full speed on the
+    // uncoalesced path. (Trains never start *before* a window opens:
+    // ThrottleCapacity splits active trains at the open edge.)
+    const std::int64_t avail = (capacity_until_ - now).nanos();
+    const std::int64_t limit = (avail - 1) / dn + 1;
+    if (limit < m) m = limit;
+    if (m < 2) return 1;
+  }
   for (const Wave& w : waves_) {
     if (!w.active) continue;
     if (w.kernel == k) return 1;
@@ -265,7 +276,7 @@ void Gpu::Dispatch() {
       Wave& w = waves_[slot];
       const sim::Duration d = k->desc.block_work *
                               (static_cast<double>(waves) /
-                               options_.spec.clock_scale);
+                               (options_.spec.clock_scale * CapacityAt(now)));
       w.kernel = k;
       w.stream = &s;
       w.blocks = n_ex;
@@ -281,7 +292,8 @@ void Gpu::Dispatch() {
     }
     const std::int64_t n = std::min(k->blocks_left, free_slots_);
     const sim::Duration d =
-        k->desc.block_work * (1.0 / options_.spec.clock_scale);
+        k->desc.block_work *
+        (1.0 / (options_.spec.clock_scale * CapacityAt(env_.Now())));
     // Wave-train coalescing: if this wave takes every free slot and the
     // kernel has at least one more identical wave behind it, fold as many
     // back-to-back waves as provably run undisturbed into one completion
@@ -500,6 +512,21 @@ void Gpu::AbortStream(StreamId stream) {
     if (k->in_flight == 0) RetireKernel(s);
   }
   Dispatch();
+}
+
+void Gpu::ThrottleCapacity(double capacity, sim::Duration window) {
+  if (!(capacity > 0.0) || capacity > 1.0) {
+    throw std::invalid_argument("capacity multiplier must be in (0, 1]");
+  }
+  // Trains issued at full speed must stop refilling at the wave boundary
+  // the throttle lands in; waves already on the SMs keep their
+  // dispatch-time duration (work in flight is not rewound).
+  SplitActiveTrains();
+  const sim::TimePoint now = env_.Now();
+  capacity_ =
+      (now < capacity_until_) ? std::min(capacity_, capacity) : capacity;
+  const sim::TimePoint until = now + window;
+  if (until > capacity_until_) capacity_until_ = until;
 }
 
 void Gpu::InjectAllocFault(sim::Duration d) {

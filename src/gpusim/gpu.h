@@ -196,6 +196,24 @@ class Gpu {
   // TransientAllocFailure until `d` elapses. Overlapping windows extend.
   void InjectAllocFault(sim::Duration d);
 
+  // Open a fractional-capacity fault window (thermal throttle, ECC remap,
+  // partial SM loss): kernels dispatched while the window is open run with
+  // their wave durations stretched by 1/capacity. `capacity` must be in
+  // (0, 1]. Semantics are dispatch-time: a wave (or an exclusive kernel's
+  // whole residency) keeps the duration computed when it was issued, even
+  // if the window closes mid-flight; coalesced trains are split at the
+  // window-open edge and capped at the window-close edge so finish times
+  // are bit-identical with coalescing on or off. Overlapping windows
+  // extend to the furthest end point and keep the *most severe* (lowest)
+  // multiplier. Deliberately NO listener callback: gray degradation must
+  // be *measured* (probe RTT) by higher layers, never push-announced.
+  void ThrottleCapacity(double capacity, sim::Duration window);
+
+  // Effective capacity multiplier at `t` (1.0 outside any window).
+  double CapacityAt(sim::TimePoint t) const {
+    return t < capacity_until_ ? capacity_ : 1.0;
+  }
+
   // Install the health listener (at most one; nullptr detaches). Must
   // outlive the device or be detached first.
   void SetHealthListener(GpuHealthListener* listener) { listener_ = listener; }
@@ -208,10 +226,11 @@ class Gpu {
     bool alloc_fault = false;
     std::uint64_t resets = 0;
     std::uint64_t kernels_failed = 0;
+    double capacity = 1.0;  // < 1 inside a fractional-capacity window
   };
   HealthSnapshot Health() const {
     return HealthSnapshot{hung_, down_, alloc_fault_active(), resets_,
-                          kernels_failed_};
+                          kernels_failed_, CapacityAt(env_.Now())};
   }
 
   bool hung() const { return hung_; }
@@ -415,6 +434,8 @@ class Gpu {
   bool hung_ = false;
   sim::TimePoint hang_until_;
   sim::TimePoint alloc_fault_until_;
+  double capacity_ = 1.0;  // meaningful only while Now() < capacity_until_
+  sim::TimePoint capacity_until_;
   bool down_ = false;  // inside a reset outage window
   sim::TimePoint down_until_;
   GpuHealthListener* listener_ = nullptr;

@@ -13,6 +13,7 @@ std::span<const ServingCounters::Field> ServingCounters::Fields() {
       {"device_hangs", &ServingCounters::device_hangs},
       {"device_resets", &ServingCounters::device_resets},
       {"alloc_fault_windows", &ServingCounters::alloc_fault_windows},
+      {"capacity_fault_windows", &ServingCounters::capacity_fault_windows},
       {"requests_ok", &ServingCounters::requests_ok},
       {"requests_retried_ok", &ServingCounters::requests_retried_ok},
       {"requests_timed_out", &ServingCounters::requests_timed_out},
@@ -62,6 +63,8 @@ std::span<const RouterCounters::Field> RouterCounters::Fields() {
       {"server_crashes", &RouterCounters::server_crashes},
       {"server_hangs", &RouterCounters::server_hangs},
       {"partitions", &RouterCounters::partitions},
+      {"capacity_losses", &RouterCounters::capacity_losses},
+      {"jitter_windows", &RouterCounters::jitter_windows},
       {"requests_routed", &RouterCounters::requests_routed},
       {"requests_ok", &RouterCounters::requests_ok},
       {"requests_failed", &RouterCounters::requests_failed},
@@ -79,6 +82,11 @@ std::span<const RouterCounters::Field> RouterCounters::Fields() {
       {"server_down_events", &RouterCounters::server_down_events},
       {"server_readmissions", &RouterCounters::server_readmissions},
       {"tenant_instantiations", &RouterCounters::tenant_instantiations},
+      {"score_degrade_events", &RouterCounters::score_degrade_events},
+      {"score_recover_events", &RouterCounters::score_recover_events},
+      {"brownout_entries", &RouterCounters::brownout_entries},
+      {"brownout_exits", &RouterCounters::brownout_exits},
+      {"requests_shed_brownout", &RouterCounters::requests_shed_brownout},
   };
   return kFields;
 }

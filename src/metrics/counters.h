@@ -20,6 +20,7 @@ struct ServingCounters {
   std::uint64_t device_hangs = 0;
   std::uint64_t device_resets = 0;
   std::uint64_t alloc_fault_windows = 0;
+  std::uint64_t capacity_fault_windows = 0;  // fractional-capacity windows
 
   // --- per-request outcomes (incremented by serving::Experiment) ---------
   std::uint64_t requests_ok = 0;
@@ -86,6 +87,8 @@ struct RouterCounters {
   std::uint64_t server_crashes = 0;
   std::uint64_t server_hangs = 0;
   std::uint64_t partitions = 0;
+  std::uint64_t capacity_losses = 0;  // server-wide fractional-capacity windows
+  std::uint64_t jitter_windows = 0;   // router<->server hop-stretch windows
 
   // --- routing / request outcomes ----------------------------------------
   std::uint64_t requests_routed = 0;   // forward legs dispatched
@@ -110,6 +113,13 @@ struct RouterCounters {
   std::uint64_t server_down_events = 0;   // -> down edges
   std::uint64_t server_readmissions = 0;  // recovering -> healthy edges
   std::uint64_t tenant_instantiations = 0;  // lazy (client, server) setups
+
+  // --- gray-failure response (score-weighted routing + brownout) ---------
+  std::uint64_t score_degrade_events = 0;  // score-driven healthy -> degraded
+  std::uint64_t score_recover_events = 0;  // score-driven degraded -> healthy
+  std::uint64_t brownout_entries = 0;      // shed-level 0 -> >0 edges
+  std::uint64_t brownout_exits = 0;        // shed-level back-to-0 edges
+  std::uint64_t requests_shed_brownout = 0;  // rejected by brownout shedding
 
   std::uint64_t requests_total() const {
     return requests_ok + requests_failed + requests_timed_out +

@@ -35,6 +35,13 @@ std::size_t ValidatedShards(const ClusterOptions& o) {
           "tenant-instantiation failure path does hub bookkeeping at the "
           "server-side instant, which would need a zero-latency hop");
     }
+    if (e.kind == fault::FaultKind::kCapacityFault) {
+      throw std::invalid_argument(
+          "sharded cluster cannot run device-level kCapacityFault events: "
+          "the probe transport reads device capacity hub-side, which is "
+          "only exact for capacity written during hub instants; use "
+          "ServerFaultPlan::CapacityLoss (hub-applied) instead");
+    }
   }
   if (o.server.executor.tracer != nullptr) {
     throw std::invalid_argument(
@@ -82,6 +89,8 @@ Cluster::Cluster(ClusterOptions options)
   hung_until_.resize(servers_.size());
   part_to_until_.resize(servers_.size());
   part_from_until_.resize(servers_.size());
+  jitter_until_.resize(servers_.size());
+  jitter_factor_.assign(servers_.size(), 1.0);
   tenant_of_.resize(servers_.size());
   tenant_instantiations_.resize(servers_.size());
 }
@@ -101,10 +110,30 @@ sim::Task Cluster::Probe(std::size_t server, bool& ok) {
     ok = false;
   } else {
     if (options_.router.net_delay > sim::Duration::Zero()) {
-      co_await env_.Delay(options_.router.net_delay * 2.0);
+      // Jitter stretches the round trip (factor 1.0 outside any window —
+      // an exact multiply, so jitter-free plans are bit-identical).
+      co_await env_.Delay(options_.router.net_delay * 2.0 *
+                          JitterFactor(server));
+    }
+    if (options_.router.score.enabled) {
+      // The probe exercises the serving path, so its service time runs at
+      // the device's current speed: a fractional-capacity fault inflates
+      // the measured RTT, which is the only way the router can see it.
+      // Only charged under scoring — legacy probes are network-only.
+      co_await env_.Delay(options_.router.probe_service *
+                          (1.0 / ServerCapacity(server)));
     }
     ok = true;
   }
+}
+
+double Cluster::ServerCapacity(std::size_t server) {
+  double cap = 1.0;
+  Experiment& srv = *servers_[server];
+  for (std::size_t g = 0; g < srv.num_gpus(); ++g) {
+    cap = std::min(cap, srv.gpu(g).CapacityAt(env_.Now()));
+  }
+  return cap;
 }
 
 bool Cluster::HasUsableDevice(std::size_t server) const {
@@ -163,6 +192,27 @@ void Cluster::ApplyServerFault(const fault::ServerFaultEvent& e) {
             std::max(part_from_until_[e.server], until);
       }
       ++counters_.partitions;
+      break;
+    case fault::ServerFaultKind::kCapacityLoss:
+      // Gray failure: every device throttles but the server stays up and
+      // keeps answering probes. Nothing is push-announced — the router can
+      // only detect this through measured probe RTT (scoring).
+      for (std::size_t g = 0; g < srv.num_gpus(); ++g) {
+        srv.gpu(g).ThrottleCapacity(e.capacity, e.duration);
+      }
+      ++counters_.capacity_losses;
+      router_->NoteFaultOnset(e.server);
+      break;
+    case fault::ServerFaultKind::kJitter:
+      // Overlapping jitter windows keep the worst factor and the furthest
+      // end point.
+      jitter_factor_[e.server] = now < jitter_until_[e.server]
+                                     ? std::max(jitter_factor_[e.server],
+                                                e.factor)
+                                     : e.factor;
+      jitter_until_[e.server] = std::max(jitter_until_[e.server], until);
+      ++counters_.jitter_windows;
+      router_->NoteFaultOnset(e.server);
       break;
   }
   if (tracer_ != nullptr && !tracer_->full()) {
@@ -224,6 +274,15 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
                                    sim::TimePoint arrival,
                                    RequestStatus& status) {
   const RouterOptions& ro = options_.router;
+  // Brownout admission control: a shed class is rejected at the front door
+  // before any routing or network cost (load it cannot carry is exactly
+  // what the cluster is shedding).
+  if (router_->BrownoutSheds(spec.priority)) {
+    ++counters_.requests_shed_brownout;
+    status = RequestStatus::kRejected;
+    co_await env_.Delay(ro.retry_backoff);
+    co_return;
+  }
   for (int attempt = 1;;) {
     const std::size_t s = router_->Route(home);
     if (s == Router::kNoServer) {
@@ -238,9 +297,11 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
 
     // Forward leg. A partition active at send time drops the request; the
     // router only learns from the missing ack after the probe timeout.
+    // Jitter stretches the hop (factor 1.0 outside any window — an exact
+    // multiply, so jitter-free plans are bit-identical).
     const bool lost_to = env_.Now() < part_to_until_[s];
     if (ro.net_delay > sim::Duration::Zero()) {
-      co_await env_.Delay(ro.net_delay);
+      co_await env_.Delay(ro.net_delay * JitterFactor(s));
     }
     if (lost_to) {
       ++counters_.requests_lost_to_server;
@@ -288,10 +349,10 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
     RequestStatus leg = RequestStatus::kOk;
     co_await servers_[s]->ServeTenantRequest(tenant, rng, arrival, leg);
 
-    // Response leg.
+    // Response leg (jitter evaluated at the send instant, like lost_from).
     const bool lost_from = env_.Now() < part_from_until_[s];
     if (ro.net_delay > sim::Duration::Zero()) {
-      co_await env_.Delay(ro.net_delay);
+      co_await env_.Delay(ro.net_delay * JitterFactor(s));
     }
     router_->OnRequestEnd(s);
     if (lost_from) {
@@ -361,6 +422,12 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
   // hub bookkeeping stays on the hub. Route, counters, and router state are
   // only ever touched hub-side.
   const RouterOptions& ro = options_.router;
+  if (router_->BrownoutSheds(spec.priority)) {
+    ++counters_.requests_shed_brownout;
+    status = RequestStatus::kRejected;
+    co_await env_.Delay(ro.retry_backoff);
+    co_return;
+  }
   for (int attempt = 1;;) {
     const std::size_t s = router_->Route(home);
     if (s == Router::kNoServer) {
@@ -374,10 +441,13 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
     // A partition active at send time drops the request on the wire: it
     // never reaches the server's shard, so the whole round — forward leg,
     // probe timeout, error bookkeeping — stays on the hub, with the same
-    // virtual-time cost as the unsharded path.
+    // virtual-time cost as the unsharded path. The jitter factor is
+    // evaluated at the same send instant as the unsharded path; it is
+    // >= 1, so a jittered hop never undercuts the engine lookahead.
     const bool lost_to = env_.Now() < part_to_until_[s];
+    const double jitter_fwd = JitterFactor(s);
     if (lost_to) {
-      co_await env_.Delay(ro.net_delay);
+      co_await env_.Delay(ro.net_delay * jitter_fwd);
       ++counters_.requests_lost_to_server;
       co_await env_.Delay(ro.probe_timeout);
       router_->OnRequestEnd(s);
@@ -398,12 +468,13 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
     }
 
     // Forward leg: the request physically moves onto the server's shard.
-    co_await engine_.HopToShard(shard_of(s), ro.net_delay);
+    co_await engine_.HopToShard(shard_of(s), ro.net_delay * jitter_fwd);
 
     std::size_t tenant = 0;
     bool tenant_ok = true;
     RequestStatus leg = RequestStatus::kOk;
     bool lost_from = false;
+    double jitter_back = 1.0;
     std::exception_ptr err;
     try {
       co_await EnsureTenant(s, client, spec, tenant, tenant_ok);
@@ -414,6 +485,9 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
         // response leg). The window arrays are written only during hub
         // instants, so the read is race-free and temporally exact.
         lost_from = servers_[s]->env().Now() < part_from_until_[s];
+        jitter_back = servers_[s]->env().Now() < jitter_until_[s]
+                          ? jitter_factor_[s]
+                          : 1.0;
       }
     } catch (...) {
       // Carry server-side errors across the hop: rethrowing on the worker
@@ -422,7 +496,7 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
     }
 
     // Response leg: back onto the hub.
-    co_await engine_.HopToHub(shard_of(s), ro.net_delay);
+    co_await engine_.HopToHub(shard_of(s), ro.net_delay * jitter_back);
     if (err != nullptr) std::rethrow_exception(err);
 
     if (!tenant_ok) {
@@ -555,6 +629,14 @@ std::vector<ClusterClientResult> Cluster::Run(
     const std::vector<ClusterClientSpec>& clients) {
   if (ran_) throw std::logic_error("Cluster::Run may only be called once");
   ran_ = true;
+  {
+    std::vector<int> priorities;
+    priorities.reserve(clients.size());
+    for (const ClusterClientSpec& c : clients) {
+      priorities.push_back(c.request.priority);
+    }
+    router_->SetPriorityClasses(std::move(priorities));
+  }
   for (auto& s : servers_) s->StartServing();
   router_->Start();
   ArmServerFaults();
@@ -653,6 +735,14 @@ std::vector<ClusterStreamResult> Cluster::RunStreams(
           "aggregate streams are open-loop: give each stream an arrival "
           "generator");
     }
+  }
+  {
+    std::vector<int> priorities;
+    priorities.reserve(streams.size());
+    for (const ClusterStreamSpec& st : streams) {
+      priorities.push_back(st.request.priority);
+    }
+    router_->SetPriorityClasses(std::move(priorities));
   }
   for (auto& s : servers_) s->StartServing();
   router_->Start();

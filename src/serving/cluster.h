@@ -173,6 +173,13 @@ class Cluster : private RouterTransport {
   void ApplyServerFault(const fault::ServerFaultEvent& e);
   static void FaultTrampoline(void* ctx, std::uint64_t index);
   void StopAll();
+  // Hop-delay multiplier for `server` at the hub's current instant.
+  double JitterFactor(std::size_t server) const {
+    return env_.Now() < jitter_until_[server] ? jitter_factor_[server] : 1.0;
+  }
+  // Lowest capacity multiplier across the server's devices right now (1.0
+  // when no fractional-capacity window is open). Read hub-side only.
+  double ServerCapacity(std::size_t server);
 
   ClusterOptions options_;
   // Declared before env_: env_ aliases the engine's hub environment, which
@@ -193,6 +200,12 @@ class Cluster : private RouterTransport {
   std::vector<sim::TimePoint> hung_until_;
   std::vector<sim::TimePoint> part_to_until_;    // router -> server drops
   std::vector<sim::TimePoint> part_from_until_;  // server -> router drops
+  // Network-jitter windows: every router<->server hop (requests, responses,
+  // probes) is stretched by jitter_factor_ while the window is open. The
+  // factor is >= 1, so jittered hops never undercut the net_delay lookahead
+  // that bounds the sharded engine's conservative windows.
+  std::vector<sim::TimePoint> jitter_until_;
+  std::vector<double> jitter_factor_;
 
   // Per-server client -> tenant index. Sharded by server so concurrent
   // first-arrival instantiations on different shards never touch the same

@@ -48,12 +48,14 @@ HealthMonitor::HealthMonitor(sim::Environment& env,
       counters_(counters),
       tracer_(tracer) {
   if (gpus.empty()) throw std::invalid_argument("HealthMonitor needs >= 1 gpu");
+  Validate(options_.score);
   devices_.reserve(gpus.size());
   for (std::size_t i = 0; i < gpus.size(); ++i) {
     auto d = std::make_unique<Device>();
     d->gpu = gpus[i];
     d->listener.monitor = this;
     d->listener.index = i;
+    if (options_.score.enabled) d->score = HealthScore(options_.score);
     devices_.push_back(std::move(d));
   }
 }
@@ -96,6 +98,37 @@ sim::Duration HealthMonitor::Mttr(std::size_t gpu) const {
   const DeviceStats& s = devices_.at(gpu)->stats;
   if (s.readmissions == 0) return sim::Duration::Zero();
   return s.mttr_total / static_cast<std::int64_t>(s.readmissions);
+}
+
+double HealthMonitor::score(std::size_t gpu) const {
+  return scoring() ? devices_.at(gpu)->score.score() : 1.0;
+}
+
+double HealthMonitor::slowdown(std::size_t gpu) const {
+  return scoring() ? devices_.at(gpu)->score.slowdown() : 1.0;
+}
+
+void HealthMonitor::UpdateScoreHealth(std::size_t gpu) {
+  Device& d = *devices_[gpu];
+  const double sc = d.score.score();
+  if (!d.score_degraded) {
+    if (sc < options_.score.degrade_below) {
+      d.score_degraded = true;
+      if (d.health == DeviceHealth::kHealthy) {
+        Transition(gpu, DeviceHealth::kDegraded);
+      }
+    }
+    return;
+  }
+  if (sc >= options_.score.recover_above) {
+    d.score_degraded = false;
+    // Only clear if nothing else holds the device impaired (a concurrent
+    // hang or alloc-fault window keeps its own degraded claim).
+    if (d.health == DeviceHealth::kDegraded && !d.gpu->hung() &&
+        !d.gpu->alloc_fault_active()) {
+      Transition(gpu, DeviceHealth::kHealthy);
+    }
+  }
 }
 
 void HealthMonitor::Transition(std::size_t gpu, DeviceHealth to) {
@@ -152,6 +185,13 @@ void HealthMonitor::Readmit(std::size_t gpu) {
   d.stats.mttr_incidents.push_back(now - d.down_since);
   ++d.stats.readmissions;
   ++d.generation;  // invalidate leftover escalation timers from the episode
+  if (options_.score.enabled) {
+    // Re-learn the baseline: the error EWMA accumulated through the outage
+    // (and a possibly different post-recovery "normal") must not be allowed
+    // to instantly re-degrade a freshly readmitted device.
+    d.score.Reset();
+    d.score_degraded = false;
+  }
   if (counters_ != nullptr) ++counters_->device_readmissions;
   if (tracer_ != nullptr && !tracer_->full()) {
     tracer_->AddSpan("health",
@@ -211,6 +251,7 @@ sim::Task HealthMonitor::ProbeLoop(std::size_t gpu) {
     // Inside an outage submissions fail fast and tell us nothing the
     // listener has not already said; skip the beat.
     if (d.gpu->down()) continue;
+    const sim::TimePoint sent = env_.Now();
     bool ok = true;
     try {
       co_await d.gpu->Submit(
@@ -226,6 +267,13 @@ sim::Task HealthMonitor::ProbeLoop(std::size_t gpu) {
     if (!ok) {
       ++d.stats.probe_failures;
       if (counters_ != nullptr) ++counters_->probe_failures;
+    }
+    if (options_.score.enabled) {
+      // The heartbeat kernel runs through the same capacity-scaled device
+      // clock as real work, so a fractional-capacity fault shows up here as
+      // a stretched RTT — the only signal a gray fault gives off.
+      d.score.OnProbe(ok, env_.Now() - sent);
+      UpdateScoreHealth(gpu);
     }
   }
 }
@@ -248,7 +296,9 @@ void HealthMonitor::HandleHangEnd(std::size_t gpu) {
   Device& d = *devices_[gpu];
   ++d.hang_epoch;  // disarm any pending escalation for the ended hang
   if (d.health == DeviceHealth::kDegraded) {
-    if (!d.gpu->alloc_fault_active()) {
+    // The score's hysteresis latch outranks the listener clear: a device
+    // still measurably slow stays degraded until the score recovers.
+    if (!d.gpu->alloc_fault_active() && !d.score_degraded) {
       Transition(gpu, DeviceHealth::kHealthy);
     }
     return;
@@ -303,6 +353,7 @@ void HealthMonitor::AllocClearTrampoline(void* ctx, std::uint64_t arg) {
   Device& d = *self->devices_[gpu];
   if (d.health != DeviceHealth::kDegraded) return;
   if (d.gpu->hung() || d.gpu->alloc_fault_active()) return;  // still impaired
+  if (d.score_degraded) return;  // score hysteresis still holds it degraded
   self->Transition(gpu, DeviceHealth::kHealthy);
 }
 

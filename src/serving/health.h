@@ -8,6 +8,7 @@
 #include "gpusim/gpu.h"
 #include "metrics/counters.h"
 #include "metrics/trace.h"
+#include "serving/health_score.h"
 #include "sim/environment.h"
 #include "sim/task.h"
 
@@ -61,6 +62,15 @@ struct HealthMonitorOptions {
   // failover even though the driver will eventually un-wedge. Zero keeps
   // hung devices merely degraded.
   sim::Duration hang_down_after = sim::Duration::Millis(10);
+  // Gray-failure detection: continuous per-device health scoring from probe
+  // kernel RTTs. A fractional-capacity fault has no listener signal — it
+  // stretches kernels silently — so it can only be noticed by measuring the
+  // heartbeat. When enabled, hysteresis thresholds add a score-driven
+  // healthy <-> degraded path alongside the push-style listener edges
+  // (which stay authoritative for hangs/alloc faults); while the score
+  // holds a device degraded, the listener clear edges are deferred until
+  // the score recovers. Off by default: zero behavior change.
+  HealthScoreOptions score;
 };
 
 // Per-device health state machine on the virtual clock.
@@ -115,6 +125,13 @@ class HealthMonitor : public HealthObserver {
   // recoveries of `gpu`. Zero when the device never went down.
   sim::Duration Mttr(std::size_t gpu) const;
 
+  // Gray-failure scoring (all trivial when scoring is disabled).
+  bool scoring() const { return options_.score.enabled; }
+  // Continuous health score of `gpu` (1.0 when scoring is disabled).
+  double score(std::size_t gpu) const;
+  // Measured probe slowdown vs. the learned baseline (1.0 = nominal).
+  double slowdown(std::size_t gpu) const;
+
   // HealthObserver default self-wiring (used when no external observer is
   // installed; the serving layer normally passes itself instead).
   void OnDeviceDown(std::size_t gpu) override { (void)gpu; }
@@ -157,11 +174,18 @@ class HealthMonitor : public HealthObserver {
     // True when the current kDown came from hang escalation (no reset): the
     // recovery pipeline then skips driver re-init and parameter reload.
     bool down_from_hang = false;
+    // Probe-RTT health score (only consulted when scoring is enabled).
+    // `score_degraded` is the hysteresis latch: true from the degrade edge
+    // until the score climbs back above recover_above; while set, listener
+    // clear edges may not transition the device back to healthy.
+    HealthScore score;
+    bool score_degraded = false;
     DeviceStats stats;
     Listener listener;
   };
 
   void Transition(std::size_t gpu, DeviceHealth to);
+  void UpdateScoreHealth(std::size_t gpu);
   void GoDown(std::size_t gpu, bool from_hang);
   void Readmit(std::size_t gpu);
   sim::Task RecoveryProc(std::size_t gpu, std::uint64_t generation,

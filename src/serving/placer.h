@@ -44,7 +44,11 @@ class Placer {
   // `exclude` (optional) removes one device from consideration — used by
   // hedged requests, which must land somewhere other than the primary
   // attempt. Returns kNoDevice when no usable device remains (every device
-  // down: the caller rejects promptly instead of stalling).
+  // down: the caller rejects promptly instead of stalling). When the
+  // monitor scores devices, the binary rank becomes weighted selection:
+  // the primary stays sticky only while score-healthy, and fallback
+  // maximizes score / (1 + outstanding) (ties -> replica-ready, then
+  // lower index).
   std::size_t Route(const std::string& model, std::size_t primary,
                     std::size_t exclude = kNoDevice) const;
 
@@ -80,6 +84,8 @@ class Placer {
     std::unique_ptr<sim::CondVar> cv;  // created on first waiter
   };
 
+  std::size_t RouteScored(const std::string& model, std::size_t primary,
+                          std::size_t exclude) const;
   Replica& Slot(std::size_t gpu, const std::string& model);
   const Replica* FindSlot(std::size_t gpu, const std::string& model) const;
 

@@ -1,5 +1,6 @@
 #include "serving/router.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -34,7 +35,24 @@ Router::Router(sim::Environment& env, RouterTransport& transport,
     throw std::invalid_argument(
         "down_after_errors and recovery_successes must be >= 1");
   }
+  Validate(options_.score);
+  if (options_.brownout.enabled) {
+    if (!options_.score.enabled) {
+      throw std::invalid_argument("brownout requires health scoring");
+    }
+    if (!(options_.brownout.enter_below > 0.0) ||
+        options_.brownout.enter_below >= options_.brownout.exit_above ||
+        options_.brownout.exit_above > 1.0) {
+      throw std::invalid_argument(
+          "brownout needs 0 < enter_below < exit_above <= 1");
+    }
+  }
   servers_.resize(num_servers);
+  if (options_.score.enabled) {
+    scores_.assign(num_servers, HealthScore(options_.score));
+    fault_onset_.resize(num_servers);
+    onset_armed_.assign(num_servers, false);
+  }
 }
 
 void Router::Start() {
@@ -50,6 +68,7 @@ void Router::Stop() { stopped_ = true; }
 
 std::size_t Router::Route(std::size_t home) {
   if (!options_.failover) return home;  // static pin baseline
+  if (scoring()) return RouteScored(home);
   if (Routable(home)) return home;
   // Least-loaded over routable servers: healthy beats degraded, then fewest
   // outstanding, then lowest index — a deterministic total order.
@@ -71,6 +90,30 @@ std::size_t Router::Route(std::size_t home) {
   return best;
 }
 
+std::size_t Router::RouteScored(std::size_t home) const {
+  // Sticky home while it is routable AND score-healthy (the hysteresis
+  // state, not the raw score, so routing inherits the anti-flap margin).
+  // Otherwise weighted selection: maximize score / (1 + outstanding) over
+  // routable servers. Strict > keeps ties on the lowest index — the same
+  // deterministic total order the binary rank used.
+  if (home < servers_.size() && Routable(home) &&
+      servers_[home].health == ServerHealth::kHealthy) {
+    return home;
+  }
+  std::size_t best = kNoServer;
+  double best_w = -1.0;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (!Routable(s)) continue;
+    const double w = scores_[s].score() /
+                     (1.0 + static_cast<double>(servers_[s].outstanding));
+    if (w > best_w) {
+      best_w = w;
+      best = s;
+    }
+  }
+  return best;
+}
+
 void Router::OnRequestStart(std::size_t server) {
   ++servers_.at(server).outstanding;
   if (counters_ != nullptr) ++counters_->requests_routed;
@@ -83,8 +126,10 @@ void Router::OnRequestEnd(std::size_t server) {
 void Router::OnRequestSuccess(std::size_t server) {
   // A served request proves liveness but says nothing about warm-up, so it
   // clears the error streak without advancing the recovering hand-shake.
+  // With scoring on, the hysteresis thresholds own the degraded->healthy
+  // edge — one fast request must not clear a measured slowdown.
   servers_.at(server).errors = 0;
-  if (servers_[server].health == ServerHealth::kDegraded) {
+  if (!scoring() && servers_[server].health == ServerHealth::kDegraded) {
     Transition(server, ServerHealth::kHealthy);
   }
 }
@@ -111,10 +156,24 @@ sim::Task Router::ProbeLoop(std::size_t server) {
     if (stopped_) co_return;
     if (counters_ != nullptr) ++counters_->probes_sent;
     bool ok = false;
+    const sim::TimePoint sent = env_.Now();
     co_await transport_.Probe(server, ok);
     if (stopped_) co_return;
+    const sim::Duration rtt = env_.Now() - sent;
     if (!ok && counters_ != nullptr) ++counters_->probe_failures;
+    if (registry_ != nullptr && ok) {
+      // The gray-degradation signal as the router saw it, per server.
+      registry_
+          ->GetSeries("olympian_router_probe_rtt_ms",
+                      {{"server", std::to_string(server)}})
+          .Sample(env_.Now(), rtt.millis());
+    }
+    if (scoring()) scores_[server].OnProbe(ok, rtt);
     OnResult(server, ok);
+    if (scoring()) {
+      UpdateScoreHealth(server);
+      UpdateBrownout();
+    }
   }
 }
 
@@ -126,7 +185,9 @@ void Router::OnResult(std::size_t server, bool ok) {
       case ServerHealth::kHealthy:
         break;
       case ServerHealth::kDegraded:
-        Transition(server, ServerHealth::kHealthy);
+        // Under scoring the hysteresis owns this edge: one fast probe must
+        // not clear a measured slowdown (UpdateScoreHealth recovers it).
+        if (!scoring()) Transition(server, ServerHealth::kHealthy);
         break;
       case ServerHealth::kDown:
         st.successes = 1;
@@ -138,6 +199,10 @@ void Router::OnResult(std::size_t server, bool ok) {
         if (++st.successes >= options_.recovery_successes) {
           mttr_incidents_.push_back(env_.Now() - st.down_since);
           if (counters_ != nullptr) ++counters_->server_readmissions;
+          // Re-learn the baseline: post-recovery "normal" may differ, and
+          // the error EWMA accumulated through the outage must not
+          // instantly re-degrade the readmitted server.
+          if (scoring()) scores_[server].Reset();
           Transition(server, ServerHealth::kHealthy);
         }
         break;
@@ -160,7 +225,9 @@ void Router::OnResult(std::size_t server, bool ok) {
         st.down_since = env_.Now();
         if (counters_ != nullptr) ++counters_->server_down_events;
         Transition(server, ServerHealth::kDown);
-      } else if (st.health == ServerHealth::kHealthy) {
+      } else if (!scoring() && st.health == ServerHealth::kHealthy) {
+        // With scoring on, a single error only feeds the error EWMA; the
+        // hysteresis check owns the healthy->degraded edge.
         Transition(server, ServerHealth::kDegraded);
       }
       break;
@@ -170,6 +237,22 @@ void Router::OnResult(std::size_t server, bool ok) {
 void Router::Transition(std::size_t server, ServerHealth to) {
   ServerState& st = servers_[server];
   if (st.health == to) return;
+  // Detection latency: an armed gray-fault onset is consumed by the first
+  // away-from-healthy edge; going back to healthy discards a stale onset
+  // (the window closed before the router ever noticed).
+  if (scoring() && !onset_armed_.empty() && onset_armed_[server]) {
+    if (to == ServerHealth::kDegraded || to == ServerHealth::kDown) {
+      const sim::Duration lat = env_.Now() - fault_onset_[server];
+      detection_latencies_.push_back(lat);
+      onset_armed_[server] = false;
+      if (registry_ != nullptr) {
+        registry_->GetHistogram("olympian_router_detection_latency_ms")
+            .Observe(lat.millis());
+      }
+    } else if (to == ServerHealth::kHealthy) {
+      onset_armed_[server] = false;
+    }
+  }
   transitions_.push_back(ServerTransition{server, st.health, to, env_.Now()});
   st.health = to;
   if (counters_ != nullptr) ++counters_->server_transitions;
@@ -178,6 +261,89 @@ void Router::Transition(std::size_t server, ServerHealth to) {
         ->GetSeries("olympian_server_health",
                     {{"server", std::to_string(server)}})
         .Sample(env_.Now(), static_cast<double>(static_cast<int>(to)));
+  }
+}
+
+double Router::score(std::size_t server) const {
+  if (!scoring()) return 1.0;
+  return scores_.at(server).score();
+}
+
+void Router::NoteFaultOnset(std::size_t server) {
+  if (!scoring()) return;
+  // Only arm from the healthy state: a fault landing on an already
+  // degraded/down server has no healthy->degraded edge to measure.
+  if (servers_.at(server).health != ServerHealth::kHealthy) return;
+  if (onset_armed_[server]) return;  // overlapping windows: first onset wins
+  onset_armed_[server] = true;
+  fault_onset_[server] = env_.Now();
+}
+
+void Router::SetPriorityClasses(std::vector<int> priorities) {
+  std::sort(priorities.begin(), priorities.end());
+  priorities.erase(std::unique(priorities.begin(), priorities.end()),
+                   priorities.end());
+  priority_classes_ = std::move(priorities);
+}
+
+bool Router::BrownoutSheds(int priority) const {
+  if (brownout_level_ <= 0) return false;
+  // Classes are sorted ascending; the lowest `brownout_level_` of them are
+  // shed. A priority below every known class sheds with the lowest one.
+  std::size_t rank = 0;
+  while (rank < priority_classes_.size() &&
+         priority_classes_[rank] < priority) {
+    ++rank;
+  }
+  return rank < static_cast<std::size_t>(brownout_level_);
+}
+
+void Router::UpdateScoreHealth(std::size_t server) {
+  ServerState& st = servers_[server];
+  const double sc = scores_[server].score();
+  if (st.health == ServerHealth::kHealthy &&
+      sc < options_.score.degrade_below) {
+    if (counters_ != nullptr) ++counters_->score_degrade_events;
+    Transition(server, ServerHealth::kDegraded);
+  } else if (st.health == ServerHealth::kDegraded &&
+             sc >= options_.score.recover_above) {
+    if (counters_ != nullptr) ++counters_->score_recover_events;
+    Transition(server, ServerHealth::kHealthy);
+  }
+}
+
+void Router::UpdateBrownout() {
+  if (!options_.brownout.enabled || priority_classes_.empty()) return;
+  const sim::TimePoint now = env_.Now();
+  if (brownout_level_ != 0 || last_brownout_move_ > sim::TimePoint()) {
+    if (now - last_brownout_move_ < options_.brownout.min_dwell) return;
+  }
+  // Aggregate capacity: mean score over routable servers, with unroutable
+  // servers contributing zero — a down server is lost capacity too.
+  double total = 0.0;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (Routable(s)) total += scores_[s].score();
+  }
+  const double cap = total / static_cast<double>(servers_.size());
+  // The highest class is never shed: brownout degrades, it never blacks out.
+  const int max_level = static_cast<int>(priority_classes_.size()) - 1;
+  const int before = brownout_level_;
+  if (cap < options_.brownout.enter_below && brownout_level_ < max_level) {
+    if (brownout_level_ == 0 && counters_ != nullptr) {
+      ++counters_->brownout_entries;
+    }
+    ++brownout_level_;
+    last_brownout_move_ = now;
+  } else if (cap >= options_.brownout.exit_above && brownout_level_ > 0) {
+    --brownout_level_;
+    if (brownout_level_ == 0 && counters_ != nullptr) {
+      ++counters_->brownout_exits;
+    }
+    last_brownout_move_ = now;
+  }
+  if (brownout_level_ != before && registry_ != nullptr) {
+    registry_->GetSeries("olympian_brownout_level", {})
+        .Sample(now, static_cast<double>(brownout_level_));
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "metrics/counters.h"
 #include "metrics/registry.h"
+#include "serving/health_score.h"
 #include "sim/environment.h"
 #include "sim/task.h"
 #include "sim/time.h"
@@ -45,6 +46,30 @@ struct RouterOptions {
   // free, mirroring the device-failover contract).
   int max_retries = 2;
   sim::Duration retry_backoff = sim::Duration::Millis(5);
+  // Gray-failure detection: continuous health scoring from probe RTTs.
+  // When enabled, hysteresis thresholds own the healthy <-> degraded
+  // transitions (the legacy one-error degrade and success-clears edges are
+  // skipped; down/recovering semantics are unchanged) and Route() switches
+  // to score-weighted selection. Off by default: zero behavior change.
+  HealthScoreOptions score;
+  // Service time of one probe on a fully-healthy server. Charged by the
+  // cluster transport ONLY when scoring is enabled, divided by the
+  // server's current capacity — this is what makes a fractional-capacity
+  // fault visible in the probe RTT the score is learned from.
+  sim::Duration probe_service = sim::Duration::Millis(1);
+  // Brownout admission control: when the mean routable-server score drops
+  // below `enter_below`, the router sheds the lowest remaining priority
+  // class (one level per move, hysteresis + dwell between moves) and
+  // restores classes in reverse order once capacity is back above
+  // `exit_above`. The top class is never shed. Requires scoring.
+  struct BrownoutOptions {
+    bool enabled = false;
+    double enter_below = 0.60;
+    double exit_above = 0.80;
+    // Minimum virtual time between shed-level moves (anti-flap dwell).
+    sim::Duration min_dwell = sim::Duration::Millis(50);
+  };
+  BrownoutOptions brownout;
 };
 
 // One edge of the router's per-server health state machine.
@@ -91,6 +116,9 @@ class Router {
   // Pick a server for one request whose home is `home`. Sticky: the home
   // wins while routable. Otherwise least-loaded among routable servers
   // (healthy before degraded, then fewest outstanding, then lowest index).
+  // With scoring enabled the binary rank becomes weighted selection: the
+  // home stays sticky only while score-healthy, and fallback maximizes
+  // score / (1 + outstanding) over routable servers (ties -> lower index).
   // With failover off, always the home. kNoServer when nothing is routable.
   std::size_t Route(std::size_t home);
 
@@ -104,6 +132,28 @@ class Router {
   ServerHealth health(std::size_t server) const;
   std::uint64_t outstanding(std::size_t server) const;
   std::size_t num_servers() const { return servers_.size(); }
+
+  // --- gray-failure detection & response --------------------------------
+
+  bool scoring() const { return options_.score.enabled; }
+  // Continuous health score of `server` (1.0 when scoring is disabled).
+  double score(std::size_t server) const;
+
+  // Called by the fault applier when a gray fault opens on `server`; the
+  // virtual time from here to the next healthy->degraded/down edge is the
+  // detection latency. No-op when scoring is disabled.
+  void NoteFaultOnset(std::size_t server);
+  const std::vector<sim::Duration>& detection_latencies() const {
+    return detection_latencies_;
+  }
+
+  // Brownout admission control. `priorities` is the set of client priority
+  // classes in the run; shedding drops the *lowest* class first, restores
+  // in reverse order. Higher priority value = more important.
+  void SetPriorityClasses(std::vector<int> priorities);
+  // Should a request of `priority` be rejected at admission right now?
+  bool BrownoutSheds(int priority) const;
+  int brownout_level() const { return brownout_level_; }
 
   // Every health edge, in order. The recovering->healthy edge count is the
   // number of completed router-visible recoveries.
@@ -128,6 +178,9 @@ class Router {
   sim::Task ProbeLoop(std::size_t server);
   void OnResult(std::size_t server, bool ok);
   void Transition(std::size_t server, ServerHealth to);
+  std::size_t RouteScored(std::size_t home) const;
+  void UpdateScoreHealth(std::size_t server);
+  void UpdateBrownout();
 
   sim::Environment& env_;
   RouterTransport& transport_;
@@ -137,6 +190,14 @@ class Router {
   std::vector<ServerState> servers_;
   std::vector<ServerTransition> transitions_;
   std::vector<sim::Duration> mttr_incidents_;
+  // Gray-failure state (all empty/zero when scoring is disabled).
+  std::vector<HealthScore> scores_;           // per server
+  std::vector<sim::TimePoint> fault_onset_;   // valid iff onset_armed_[s]
+  std::vector<bool> onset_armed_;
+  std::vector<sim::Duration> detection_latencies_;
+  std::vector<int> priority_classes_;         // ascending, unique
+  int brownout_level_ = 0;  // classes currently shed (0 = none)
+  sim::TimePoint last_brownout_move_;
   bool started_ = false;
   bool stopped_ = false;
 };

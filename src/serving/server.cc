@@ -297,8 +297,14 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       // Hedge: the routed device is impaired but not down — race a
       // duplicate on another usable replica for tail tolerance.
       std::shared_ptr<HedgeState> hedge;
-      if (failover && options_.failover.hedge_when_degraded &&
-          health_->health(gpu_index) == DeviceHealth::kDegraded) {
+      const bool hedge_on_bit = options_.failover.hedge_when_degraded &&
+                                health_->health(gpu_index) ==
+                                    DeviceHealth::kDegraded;
+      const bool hedge_on_score =
+          options_.failover.hedge_below_score > 0.0 && health_->scoring() &&
+          health_->score(static_cast<std::size_t>(gpu_index)) <
+              options_.failover.hedge_below_score;
+      if (failover && (hedge_on_bit || hedge_on_score)) {
         const std::size_t alt =
             placer_->Route(spec.model, primary_gpu, gpu_index);
         if (alt != Placer::kNoDevice && alt != gpu_index) {

@@ -48,6 +48,11 @@ struct FailoverOptions {
   // merely degraded (tail tolerance during hangs / alloc-fault windows).
   bool hedge_when_degraded = false;
   sim::Duration hedge_delay = sim::Duration::Millis(5);
+  // Slowdown-triggered hedging (requires health.score.enabled): also hedge
+  // when the routed device's score drops below this, even before the
+  // hysteresis marks it degraded — the response acts on the measured
+  // slowdown, not the binary bit. 0 disables (the default).
+  double hedge_below_score = 0.0;
 };
 
 // Observability wiring for a serving run. Fully passive: with `registry`
