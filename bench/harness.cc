@@ -175,13 +175,41 @@ void SweepCase::RecordStatuses(
   }
 }
 
+namespace {
+
+// max/mean of the per-shard executed-event counts; 1.0 for degenerate
+// inputs (no shards, or no events) so artifacts never carry a NaN.
+double ShardImbalance(const std::vector<std::uint64_t>& shard_events) {
+  std::uint64_t total = 0;
+  std::uint64_t worst = 0;
+  for (const std::uint64_t e : shard_events) {
+    total += e;
+    if (e > worst) worst = e;
+  }
+  if (shard_events.empty() || total == 0) return 1.0;
+  return static_cast<double>(worst) * static_cast<double>(shard_events.size()) /
+         static_cast<double>(total);
+}
+
+}  // namespace
+
 void SweepCase::RecordEngine(const sim::ShardedEngine& engine) {
   engine_shards = engine.shards();
   engine_sync_windows = engine.sync_windows();
   engine_boundary_events = engine.boundary_events();
+  engine_hub_instants = engine.hub_instants();
+  engine_worker_wakeups = engine.worker_wakeups();
+  engine_shard_events.clear();
+  engine_shard_events.reserve(engine_shards);
+  for (std::size_t k = 0; k < engine_shards; ++k) {
+    engine_shard_events.push_back(engine.shard_events(k));
+  }
   Set("shards", static_cast<double>(engine_shards));
   Set("sync_windows", static_cast<double>(engine_sync_windows));
   Set("boundary_events", static_cast<double>(engine_boundary_events));
+  Set("hub_instants", static_cast<double>(engine_hub_instants));
+  Set("worker_wakeups", static_cast<double>(engine_worker_wakeups));
+  Set("imbalance", ShardImbalance(engine_shard_events));
 }
 
 Json SloJson(const metrics::SloReport& r) {
@@ -334,10 +362,21 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
   std::uint64_t agg_shards = 1;
   std::uint64_t agg_sync_windows = 0;
   std::uint64_t agg_boundary_events = 0;
+  std::uint64_t agg_hub_instants = 0;
+  std::uint64_t agg_worker_wakeups = 0;
+  std::vector<std::uint64_t> agg_shard_events;
   for (const auto& r : results_) {
     if (r.engine_shards > agg_shards) agg_shards = r.engine_shards;
     agg_sync_windows += r.engine_sync_windows;
     agg_boundary_events += r.engine_boundary_events;
+    agg_hub_instants += r.engine_hub_instants;
+    agg_worker_wakeups += r.engine_worker_wakeups;
+    if (r.engine_shard_events.size() > agg_shard_events.size()) {
+      agg_shard_events.resize(r.engine_shard_events.size(), 0);
+    }
+    for (std::size_t k = 0; k < r.engine_shard_events.size(); ++k) {
+      agg_shard_events[k] += r.engine_shard_events[k];
+    }
   }
   for (const auto& r : results_) {
     Json metrics = Json::Object();
@@ -369,13 +408,24 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
       // over all cases that recorded request outcomes (empty-traffic report
       // when none did).
       .Set("slo", SloJson(merged_slo.Report(merged_window)))
-      .Set("engine",
-           Json::Object()
-               .Set("shards", Json::Num(static_cast<double>(agg_shards)))
-               .Set("sync_windows",
-                    Json::Num(static_cast<double>(agg_sync_windows)))
-               .Set("boundary_events",
-                    Json::Num(static_cast<double>(agg_boundary_events))))
+      .Set("engine", [&] {
+        Json shard_events = Json::Array();
+        for (const std::uint64_t e : agg_shard_events) {
+          shard_events.Push(Json::Num(static_cast<double>(e)));
+        }
+        return Json::Object()
+            .Set("shards", Json::Num(static_cast<double>(agg_shards)))
+            .Set("sync_windows",
+                 Json::Num(static_cast<double>(agg_sync_windows)))
+            .Set("boundary_events",
+                 Json::Num(static_cast<double>(agg_boundary_events)))
+            .Set("hub_instants",
+                 Json::Num(static_cast<double>(agg_hub_instants)))
+            .Set("worker_wakeups",
+                 Json::Num(static_cast<double>(agg_worker_wakeups)))
+            .Set("shard_events", std::move(shard_events))
+            .Set("imbalance", Json::Num(ShardImbalance(agg_shard_events)));
+      }())
       .Set("cases", std::move(cases_json));
   const std::string path = "BENCH_" + name_ + ".json";
   if (!WriteJsonFile(path, root)) {

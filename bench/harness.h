@@ -118,13 +118,21 @@ struct SweepCase {
   void RecordStatuses(const std::vector<serving::ClientResult>& clients);
   // Sharded-engine execution counters (see sim/shard.h) — call from every
   // case that ran a cluster workload. Adds shards / sync_windows /
-  // boundary_events metrics to the case and feeds the artifact-level
-  // "engine" block RunAll() stamps into every BENCH_*.json (shards: max
-  // across cases, defaulting to 1; windows/boundary events: sums).
+  // boundary_events / hub_instants / worker_wakeups / imbalance metrics to
+  // the case and feeds the artifact-level "engine" block RunAll() stamps
+  // into every BENCH_*.json (shards: max across cases, defaulting to 1;
+  // windows/boundary events/instants/wakeups: sums; shard_events:
+  // element-wise sums; imbalance: max/mean of the pooled per-shard counts).
+  // Imbalance makes adaptive vs. static assignment visible in artifacts:
+  // 1.0 is a perfect packing, N means the busiest shard carries N times the
+  // mean event load.
   void RecordEngine(const sim::ShardedEngine& engine);
   std::uint64_t engine_shards = 0;  // 0 until RecordEngine is called
   std::uint64_t engine_sync_windows = 0;
   std::uint64_t engine_boundary_events = 0;
+  std::uint64_t engine_hub_instants = 0;
+  std::uint64_t engine_worker_wakeups = 0;
+  std::vector<std::uint64_t> engine_shard_events;
 };
 
 // JSON block for an SLO report; attached per case and at artifact top level

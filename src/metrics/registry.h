@@ -96,6 +96,11 @@ class MetricRegistry {
     // containing bucket, clamped to the observed min/max.
     double Quantile(double q) const;
 
+    // Folds `src`'s observations into this histogram bucket-wise. Both
+    // histograms must share a bucket layout (throws std::invalid_argument
+    // otherwise — merging across layouts would smear counts).
+    void MergeFrom(const Histogram& src);
+
    private:
     std::vector<double> bounds_;
     std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
@@ -118,6 +123,12 @@ class MetricRegistry {
     }
     bool empty() const { return points_.empty(); }
     double last() const { return points_.empty() ? 0.0 : points_.back().second; }
+    // Appends `src`'s samples after this series' own (no re-sorting: merged
+    // series are expected to come from disjoint label sets or consecutive
+    // time ranges).
+    void MergeFrom(const TimeSeries& src) {
+      points_.insert(points_.end(), src.points_.begin(), src.points_.end());
+    }
 
    private:
     static constexpr std::size_t kReserve = 1024;
@@ -131,6 +142,13 @@ class MetricRegistry {
       std::string_view name, const Labels& labels = {},
       const Histogram::Options& opts = Histogram::Options());
   TimeSeries& GetSeries(std::string_view name, const Labels& labels = {});
+
+  // Folds every instrument of `src` into this registry, splicing `extra`
+  // labels into each key (e.g. {{"server","3"}} qualifies per-server deltas
+  // before they land in a shared export). Counters add, gauges overwrite,
+  // histograms merge bucket-wise (layouts must match), and time series
+  // append their samples. Deterministic: `src` iterates in key order.
+  void MergeFrom(const MetricRegistry& src, const Labels& extra = {});
 
   // Lookup-only (nullptr when absent); for tests and report builders.
   const Counter* FindCounter(std::string_view name,

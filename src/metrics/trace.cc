@@ -10,6 +10,23 @@ const char* Tracer::Intern(std::string_view s) {
   return interned_.emplace(s).first->c_str();
 }
 
+void Tracer::MergeFrom(const Tracer& src) {
+  for (const Event& e : src.events_) {
+    if (full()) {
+      ++dropped_;
+      continue;
+    }
+    Event copy = e;
+    // Source strings may live in src's intern table (or in buffers with
+    // src's lifetime); re-intern so the copies outlive the source.
+    copy.category = Intern(e.category);
+    copy.name = Intern(e.name);
+    if (e.detail != nullptr) copy.detail = Intern(e.detail);
+    events_.push_back(copy);
+  }
+  dropped_ += src.dropped_;
+}
+
 namespace {
 
 // JSON string-escapes `s`: quote, backslash, and all control characters

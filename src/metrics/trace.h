@@ -99,9 +99,18 @@ class Tracer {
   const char* Intern(std::string_view s);
 
   std::size_t size() const { return events_.size(); }
+  std::size_t max_events() const { return max_events_; }
   bool full() const { return events_.size() >= max_events_; }
   // Number of events rejected because the tracer was full.
   std::uint64_t dropped() const { return dropped_; }
+
+  // Appends every event of `src` (re-interning its strings, so `src` may be
+  // destroyed afterwards) and folds in its drop count. Respects this
+  // tracer's own max_events: events past the cap are counted as dropped,
+  // never silently lost. The cluster uses this to fold per-server private
+  // trace buffers into the user's tracer in a canonical, shard-count-
+  // independent order.
+  void MergeFrom(const Tracer& src);
 
   struct Event {
     const char* category;

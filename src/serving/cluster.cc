@@ -18,53 +18,106 @@ namespace {
 
 // Validates a sharded configuration and returns the effective shard count
 // (clamped to the server count; 0 means 1). Throws std::invalid_argument
-// for state that cannot be safely partitioned across threads.
+// for the two remaining unpartitionable options; every other cluster
+// configuration — alloc faults, server-side tracer, server-side registry —
+// now shards (per-server private accumulators, merged hub-side).
 std::size_t ValidatedShards(const ClusterOptions& o) {
   std::size_t shards = o.shards == 0 ? 1 : o.shards;
   shards = std::min(shards, o.num_servers);
   if (shards <= 1) return 1;
   if (o.router.net_delay <= sim::Duration::Zero()) {
     throw std::invalid_argument(
-        "sharded cluster requires router.net_delay > 0: it is the engine "
-        "lookahead that makes conservative windows non-empty");
+        "ClusterOptions::shards > 1 requires RouterOptions::net_delay > 0: "
+        "the network delay is the engine lookahead that makes conservative "
+        "windows non-empty; set router.net_delay to the modeled "
+        "router<->server hop latency, or run with shards = 1");
   }
   for (const fault::FaultEvent& e : o.server.faults.events()) {
-    if (e.kind == fault::FaultKind::kAllocFault) {
-      throw std::invalid_argument(
-          "sharded cluster cannot run kAllocFault device faults: the "
-          "tenant-instantiation failure path does hub bookkeeping at the "
-          "server-side instant, which would need a zero-latency hop");
-    }
     if (e.kind == fault::FaultKind::kCapacityFault) {
       throw std::invalid_argument(
-          "sharded cluster cannot run device-level kCapacityFault events: "
-          "the probe transport reads device capacity hub-side, which is "
-          "only exact for capacity written during hub instants; use "
-          "ServerFaultPlan::CapacityLoss (hub-applied) instead");
+          "ClusterOptions::shards > 1 cannot run device-level "
+          "FaultKind::kCapacityFault events: the router probe reads device "
+          "capacity hub-side, which is only exact for capacity written "
+          "during hub instants; schedule the equivalent server-wide window "
+          "with ServerFaultPlan::CapacityLoss (hub-applied), or run with "
+          "shards = 1");
     }
   }
-  if (o.server.executor.tracer != nullptr) {
-    throw std::invalid_argument(
-        "sharded cluster cannot share a server-side tracer: servers on "
-        "different shards would append to one buffer concurrently");
-  }
-  if (o.server.observability.registry != nullptr) {
-    throw std::invalid_argument(
-        "sharded cluster cannot share a server-side observability "
-        "registry across shards; use ClusterOptions::registry (hub-only)");
-  }
   return shards;
+}
+
+// Server -> shard lane map (one lane per server). kStatic is s % shards;
+// kAdaptive runs deterministic greedy bin-packing on the measured weights:
+// heaviest server first (ties by index), each onto the least-loaded shard
+// (ties to the lowest shard index). Uniform weights reproduce kStatic
+// exactly — round k of the greedy pass sees all shard loads equal and fills
+// shards 0..S-1 in index order — so switching the policy on never perturbs
+// a trajectory, only the packing of lanes onto threads.
+std::vector<std::size_t> LaneMap(const ClusterOptions& o, std::size_t shards) {
+  const std::size_t n = o.num_servers;
+  std::vector<std::size_t> lanes(n);
+  if (o.assignment == ShardAssignment::kAdaptive &&
+      !o.server_weights.empty() && o.server_weights.size() != n) {
+    throw std::invalid_argument(
+        "ClusterOptions::server_weights holds " +
+        std::to_string(o.server_weights.size()) + " weights for " +
+        std::to_string(n) +
+        " servers; give one measured weight per server (e.g. "
+        "engine().shard_events() from a profile pass), or leave it empty "
+        "for uniform weights");
+  }
+  if (o.assignment == ShardAssignment::kStatic || shards <= 1 ||
+      o.server_weights.empty()) {
+    for (std::size_t s = 0; s < n; ++s) lanes[s] = s % shards;
+    return lanes;
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t s = 0; s < n; ++s) order[s] = s;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return o.server_weights[a] > o.server_weights[b];
+                   });
+  std::vector<double> load(shards, 0.0);
+  for (const std::size_t s : order) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < shards; ++k) {
+      if (load[k] < load[best]) best = k;
+    }
+    lanes[s] = best;
+    load[best] += o.server_weights[s];
+  }
+  return lanes;
 }
 
 }  // namespace
 
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)),
-      engine_(ValidatedShards(options_), options_.router.net_delay),
+      engine_(ValidatedShards(options_), options_.router.net_delay,
+              LaneMap(options_, ValidatedShards(options_))),
       env_(engine_.hub()),
       tracer_(options_.server.executor.tracer) {
   if (options_.num_servers < 1) {
     throw std::invalid_argument("num_servers must be >= 1");
+  }
+  // Per-server private observability accumulators. Each server records into
+  // its own buffer on its own shard (no cross-thread writes); FinishRun
+  // merges them into the user-provided destinations in canonical order at
+  // every shard count, so exports are byte-identical across shard counts.
+  if (tracer_ != nullptr) {
+    hub_tracer_ = std::make_unique<metrics::Tracer>(tracer_->max_events());
+    server_tracers_.reserve(options_.num_servers);
+    for (std::size_t s = 0; s < options_.num_servers; ++s) {
+      server_tracers_.push_back(
+          std::make_unique<metrics::Tracer>(tracer_->max_events()));
+    }
+  }
+  if (options_.server.observability.registry != nullptr) {
+    server_registries_.reserve(options_.num_servers);
+    for (std::size_t s = 0; s < options_.num_servers; ++s) {
+      server_registries_.push_back(
+          std::make_unique<metrics::MetricRegistry>());
+    }
   }
   // Derive decorrelated per-server seeds from the master seed; the
   // per-client request streams use a separate derivation (see Run), so
@@ -78,8 +131,12 @@ Cluster::Cluster(ClusterOptions options)
     // devices are all down must reject promptly (kRejected + no usable
     // device), which is the signal the router converts into failover.
     so.failover.enabled = true;
+    if (tracer_ != nullptr) so.executor.tracer = server_tracers_[s].get();
+    if (!server_registries_.empty()) {
+      so.observability.registry = server_registries_[s].get();
+    }
     servers_.push_back(std::make_unique<Experiment>(
-        std::move(so), engine_.shard_env(shard_of(s))));
+        std::move(so), engine_.lane_env(s)));
   }
   RouterTransport& transport = *this;  // private base: convert in-class
   router_ = std::make_unique<Router>(env_, transport, servers_.size(),
@@ -215,11 +272,14 @@ void Cluster::ApplyServerFault(const fault::ServerFaultEvent& e) {
       router_->NoteFaultOnset(e.server);
       break;
   }
-  if (tracer_ != nullptr && !tracer_->full()) {
+  if (hub_tracer_ != nullptr && !hub_tracer_->full()) {
+    // Hub-side spans go into the hub's private buffer; FinishRun merges it
+    // ahead of the per-server buffers so the export order is canonical.
     const char* name =
-        tracer_->Intern(std::string(fault::ToString(e.kind)) + "@server" +
-                        std::to_string(e.server));
-    tracer_->AddSpan("fault", name, metrics::Tracer::kFaultTrack, now, until);
+        hub_tracer_->Intern(std::string(fault::ToString(e.kind)) + "@server" +
+                            std::to_string(e.server));
+    hub_tracer_->AddSpan("fault", name, metrics::Tracer::kFaultTrack, now,
+                         until);
   }
 }
 
@@ -330,6 +390,13 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
     bool tenant_ok = true;
     co_await EnsureTenant(s, client, spec, tenant, tenant_ok);
     if (!tenant_ok) {
+      // The failure reply still crosses the network back to the router —
+      // the same response leg a served request pays. (Also what makes the
+      // sharded path's return hop cost-symmetric: there the coroutine is
+      // physically on the server's shard and must hop home regardless.)
+      if (ro.net_delay > sim::Duration::Zero()) {
+        co_await env_.Delay(ro.net_delay * JitterFactor(s));
+      }
       router_->OnRequestEnd(s);
       router_->OnRequestError(s);
       if (attempt > ro.max_retries) {
@@ -467,8 +534,9 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
       continue;
     }
 
-    // Forward leg: the request physically moves onto the server's shard.
-    co_await engine_.HopToShard(shard_of(s), ro.net_delay * jitter_fwd);
+    // Forward leg: the request physically moves onto the server's shard
+    // (lane s is server s, wherever the assignment packed it).
+    co_await engine_.HopToShard(s, ro.net_delay * jitter_fwd);
 
     std::size_t tenant = 0;
     bool tenant_ok = true;
@@ -485,10 +553,13 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
         // response leg). The window arrays are written only during hub
         // instants, so the read is race-free and temporally exact.
         lost_from = servers_[s]->env().Now() < part_from_until_[s];
-        jitter_back = servers_[s]->env().Now() < jitter_until_[s]
-                          ? jitter_factor_[s]
-                          : 1.0;
       }
+      // The response leg's jitter is evaluated at its send instant — after
+      // a successful serve, or at the instant the tenant instantiation
+      // failed (where the unsharded path charges the same factor).
+      jitter_back = servers_[s]->env().Now() < jitter_until_[s]
+                        ? jitter_factor_[s]
+                        : 1.0;
     } catch (...) {
       // Carry server-side errors across the hop: rethrowing on the worker
       // would resume the client's continuation on the wrong thread.
@@ -496,13 +567,13 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
     }
 
     // Response leg: back onto the hub.
-    co_await engine_.HopToHub(shard_of(s), ro.net_delay * jitter_back);
+    co_await engine_.HopToHub(s, ro.net_delay * jitter_back);
     if (err != nullptr) std::rethrow_exception(err);
 
     if (!tenant_ok) {
-      // Unreachable when sharded (ValidatedShards rejects kAllocFault
-      // plans, the only source of instantiation failures); kept for
-      // structural parity with DispatchRequest.
+      // Tenant instantiation failed (an alloc-fault window on the server):
+      // the failure reply already paid the return hop above, so the hub
+      // bookkeeping lands at the same instant as the unsharded path's.
       router_->OnRequestEnd(s);
       router_->OnRequestError(s);
       if (attempt > ro.max_retries) {
@@ -805,6 +876,26 @@ void Cluster::FinishRun() {
   }
   if (options_.registry != nullptr) {
     counters_.ExportTo(*options_.registry);
+  }
+  // Fold the private per-server accumulators into the user destinations in
+  // canonical order — hub first, then servers 0..N-1. The same merge runs
+  // at every shard count (including 1), so the exported bytes are a
+  // function of the trajectory alone, never of the partitioning.
+  if (tracer_ != nullptr) {
+    tracer_->MergeFrom(*hub_tracer_);
+    for (const auto& t : server_tracers_) tracer_->MergeFrom(*t);
+  }
+  if (metrics::MetricRegistry* const user_registry =
+          options_.server.observability.registry;
+      user_registry != nullptr) {
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      // The server's ServingCounters struct is its shard-private metrics
+      // delta; bridge it into the private registry, then label every
+      // instrument with its server before it lands in the shared export.
+      servers_[s]->counters().ExportTo(*server_registries_[s]);
+      user_registry->MergeFrom(*server_registries_[s],
+                               {{"server", std::to_string(s)}});
+    }
   }
 }
 

@@ -41,6 +41,18 @@ struct ClusterClientResult {
   int CountStatus(RequestStatus s) const;
 };
 
+// Server -> shard assignment policy for sharded runs.
+enum class ShardAssignment {
+  // server s lives on shard s % shards (the PR-7 layout).
+  kStatic,
+  // Deterministic greedy bin-packing on per-server event weight: servers
+  // sorted by (weight desc, index asc), each placed on the least-loaded
+  // shard (ties -> lowest shard). With uniform (or absent) weights this
+  // reproduces kStatic exactly, so the trajectory never depends on the
+  // policy — only the thread-to-work packing does.
+  kAdaptive,
+};
+
 struct ClusterOptions {
   // Template for every server: devices, pool, executor, degradation. The
   // cluster derives each server's seed from `seed` and forces
@@ -57,17 +69,29 @@ struct ClusterOptions {
   std::uint64_t seed = 1;
   // Simulation shards. 1 (the default) keeps everything on one event queue —
   // the unsharded engine, byte-identical to the pre-sharding cluster. With
-  // shards > 1 the servers are partitioned across worker shards (server s on
-  // shard s % shards; router, clients, and fault injection on the hub) and
-  // the experiment runs on sim::ShardedEngine's conservative windows.
-  // Clamped to num_servers. Sharded mode requires router.net_delay > 0 (it
-  // is the engine lookahead) and rejects configurations whose state cannot
-  // be safely partitioned: kAllocFault device faults (their failure path
-  // does hub bookkeeping at the server-side instant), a server-side tracer,
-  // or a server-side observability registry (both would be written from
-  // multiple shard threads). The cluster-level `registry` above stays fully
-  // supported — it is only touched from the hub.
+  // shards > 1 the servers are partitioned across worker shards (one engine
+  // lane per server, packed by `assignment`; router, clients, and server-
+  // level fault injection on the hub) and the experiment runs on
+  // sim::ShardedEngine's conservative windows. Clamped to num_servers.
+  //
+  // Every cluster configuration shards: per-request kAllocFault device
+  // faults, a server-side tracer, and a server-side observability registry
+  // all run at any shard count and export byte-identically to shards=1
+  // (each server writes a private accumulator on its own shard; the cluster
+  // merges them hub-side in a canonical order after the run). The two
+  // remaining requirements are router.net_delay > 0 (it is the engine
+  // lookahead) and no device-level kCapacityFault events (the router probe
+  // reads device capacity hub-side; use ServerFaultPlan::CapacityLoss,
+  // which is hub-applied). Violations throw with the offending option and
+  // the fix named in the message.
   std::size_t shards = 1;
+  // How servers are packed onto shards (irrelevant to the trajectory, which
+  // is shard-assignment-independent by the engine's lane merge order).
+  ShardAssignment assignment = ShardAssignment::kStatic;
+  // Per-server event weights for kAdaptive: measured work (e.g. a profile
+  // pass's engine.shard_events(), or lane boundary-event counts from a
+  // previous run). Empty means uniform. Size must be num_servers otherwise.
+  std::vector<double> server_weights;
 };
 
 // One aggregate request stream: an open-loop arrival process standing in
@@ -163,10 +187,13 @@ class Cluster : private RouterTransport {
                               std::size_t home, sim::Rng rng,
                               sim::TimePoint arrival, int index,
                               ClusterStreamResult& out);
-  void FinishRun();  // merge per-shard counters, export to the registry
+  // Merge per-server private accumulators (tenant counters, trace buffers,
+  // observability registries) hub-side in canonical order, then export.
+  void FinishRun();
 
   std::size_t shard_of(std::size_t server) const {
-    return server % engine_.shards();
+    // One engine lane per server, so the lane map IS the assignment.
+    return engine_.lane_shard(server);
   }
 
   void ArmServerFaults();
@@ -189,7 +216,21 @@ class Cluster : private RouterTransport {
   std::vector<std::unique_ptr<Experiment>> servers_;
   std::unique_ptr<Router> router_;
   metrics::RouterCounters counters_;
-  metrics::Tracer* tracer_;  // shared across servers via ServerOptions
+  // User-facing trace destination (ServerOptions::executor.tracer). Never
+  // written during the run: each server records into a private per-server
+  // buffer on its own shard, the hub (fault spans) into hub_tracer_, and
+  // FinishRun folds them into tracer_ in canonical order — hub first, then
+  // servers 0..N-1 — at EVERY shard count, so the merged trace is byte-
+  // identical whether the run sharded or not.
+  metrics::Tracer* tracer_;
+  std::unique_ptr<metrics::Tracer> hub_tracer_;
+  std::vector<std::unique_ptr<metrics::Tracer>> server_tracers_;
+  // Same scheme for the server-side observability registry: each server
+  // gets a private registry (nothing writes it during a cluster run today,
+  // but the wiring keeps future server-side sampling partition-safe);
+  // FinishRun exports each server's ServingCounters into its private
+  // registry and merges them into the user registry labeled {server="s"}.
+  std::vector<std::unique_ptr<metrics::MetricRegistry>> server_registries_;
 
   // Server fault state (virtual-time windows; a past deadline means clear).
   // Written only by hub-resident code (fault callbacks on the hub queue);

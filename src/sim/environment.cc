@@ -203,6 +203,32 @@ bool Environment::RunUntil(TimePoint deadline) {
   }
 }
 
+bool Environment::RunUntilDynamic(const TimePoint* cap) {
+  RunningScope scope(running_);
+  for (;;) {
+    const Event* next = PeekNext();
+    const TimePoint bound = *cap;
+    if (next == nullptr) {
+      // Drained. A finite bound is consumed whole (clock lands on it, like
+      // RunUntil); an unbounded window leaves the clock where the last
+      // event put it — there is no meaningful instant to jump to.
+      if (bound != Never() && now_ < bound) now_ = bound;
+      if (first_error_) {
+        std::rethrow_exception(std::exchange(first_error_, nullptr));
+      }
+      return true;
+    }
+    if (next->t > bound) {
+      now_ = bound;
+      if (first_error_) {
+        std::rethrow_exception(std::exchange(first_error_, nullptr));
+      }
+      return false;
+    }
+    Step();
+  }
+}
+
 void Environment::NoteProcessDone(detail::ProcessState* s, bool had_joiners) {
   --live_;
   if (s->exception && !had_joiners) {

@@ -179,6 +179,17 @@ class Environment {
   // throw std::logic_error.
   bool RunUntil(TimePoint deadline);
 
+  // Sharded-engine window primitive: like RunUntil, but the bound is
+  // re-read through `cap` before every event, so an event handler that
+  // lowers `*cap` mid-window takes effect immediately (the engine's
+  // boundary sends self-cap their shard's window this way). The caller
+  // must only ever LOWER `*cap` while the loop runs, and never below the
+  // current clock. On return the clock lands exactly on the final `*cap`
+  // when it is finite; with `*cap == Never()` (an unbounded window) a
+  // drained queue leaves the clock at the last executed event instead of
+  // teleporting it to the sentinel. Same reentrancy contract as RunUntil.
+  bool RunUntilDynamic(const TimePoint* cap);
+
   // Number of spawned processes that have not yet completed.
   std::size_t live_process_count() const { return live_; }
 

@@ -2,32 +2,63 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace olympian::sim {
 
-ShardedEngine::ShardedEngine(std::size_t shards, Duration lookahead)
-    : shards_(shards == 0 ? 1 : shards), lookahead_(lookahead) {
+ShardedEngine::ShardedEngine(std::size_t shards, Duration lookahead,
+                             std::vector<std::size_t> lane_to_shard)
+    : shards_(shards == 0 ? 1 : shards),
+      lookahead_(lookahead),
+      lane_to_shard_(std::move(lane_to_shard)) {
   if (sharded() && lookahead_ <= Duration::Zero()) {
     throw std::logic_error(
-        "ShardedEngine: sharded execution requires a positive lookahead "
-        "(the minimum cross-shard hop latency)");
+        "ShardedEngine: shards=" + std::to_string(shards_) +
+        " requires a positive lookahead; pass the minimum cross-shard hop "
+        "latency (e.g. the cluster's router<->server net_delay) as the "
+        "lookahead argument, or construct with shards=1");
+  }
+  if (lane_to_shard_.empty()) {
+    // Identity map: one lane per shard, the pre-lane API shape.
+    lane_to_shard_.resize(shards_);
+    for (std::size_t k = 0; k < shards_; ++k) lane_to_shard_[k] = k;
+  }
+  for (std::size_t l = 0; l < lane_to_shard_.size(); ++l) {
+    if (lane_to_shard_[l] >= shards_) {
+      throw std::logic_error(
+          "ShardedEngine: lane_to_shard[" + std::to_string(l) + "] = " +
+          std::to_string(lane_to_shard_[l]) + " names a shard >= shards (" +
+          std::to_string(shards_) +
+          "); every lane must map to a worker shard in [0, shards)");
+    }
   }
   const std::size_t envs = sharded() ? shards_ + 1 : 1;
   envs_.reserve(envs);
   for (std::size_t i = 0; i < envs; ++i) {
     envs_.push_back(std::make_unique<Environment>());
   }
+  lane_boundary_events_.resize(lane_to_shard_.size());
   if (sharded()) {
-    to_shard_.resize(shards_);
-    to_hub_.resize(shards_);
+    shard_lanes_.resize(shards_);
+    for (std::size_t l = 0; l < lane_to_shard_.size(); ++l) {
+      shard_lanes_[lane_to_shard_[l]].push_back(l);  // ascending lane order
+    }
+    to_shard_.resize(lane_to_shard_.size());
+    to_hub_.resize(lane_to_shard_.size());
     worker_errors_.resize(shards_);
+    slots_.reserve(shards_);
+    for (std::size_t k = 0; k < shards_; ++k) {
+      slots_.push_back(std::make_unique<WorkerSlot>());
+    }
+    nexts_.resize(shards_);
+    participate_.resize(shards_);
   }
 }
 
 ShardedEngine::~ShardedEngine() { StopWorkers(); }
 
-void ShardedEngine::Send(std::size_t shard, bool to_hub, Duration latency,
+void ShardedEngine::Send(std::size_t lane, bool to_hub, Duration latency,
                          std::coroutine_handle<> h) {
   if (!sharded()) {
     // Single-shard: the "hop" degenerates to a latency delay on the one
@@ -41,41 +72,68 @@ void ShardedEngine::Send(std::size_t shard, bool to_hub, Duration latency,
         "ShardedEngine: cross-shard hop latency below the engine lookahead "
         "would violate the conservative horizon");
   }
-  Environment& src = to_hub ? *envs_[shard + 1] : hub();
-  Channel& ch = to_hub ? to_hub_[shard] : to_shard_[shard];
-  ch.msgs.push_back(BoundaryEvent{src.Now() + latency, h});
+  const std::size_t shard = lane_to_shard_[lane];
+  if (to_hub) {
+    Environment& src = *envs_[shard + 1];
+    const TimePoint at = src.Now() + latency;
+    to_hub_[lane].msgs.push_back(BoundaryEvent{at, h});
+    pending_to_hub_.fetch_add(1, std::memory_order_relaxed);
+    // Self-cap: this send can seed a hub event at `at`, so the sending
+    // worker must not execute anything at or past it. Runs on the worker's
+    // own thread mid-window, which is exactly who reads the cap.
+    WorkerSlot& slot = *slots_[shard];
+    const TimePoint cap = at - Duration::Nanos(1);
+    if (cap < slot.cap) slot.cap = cap;
+  } else {
+    to_shard_[lane].msgs.push_back(BoundaryEvent{hub().Now() + latency, h});
+    ++pending_to_shard_;
+  }
 }
 
 void ShardedEngine::Deliver() {
-  // Hub -> worker: each channel is already in send (seq) order; a stable
-  // sort by arrival time yields (time, seq) — the documented merge order.
-  for (std::size_t k = 0; k < shards_; ++k) {
-    Channel& ch = to_shard_[k];
-    if (ch.msgs.empty()) continue;
-    std::stable_sort(ch.msgs.begin(), ch.msgs.end(),
-                     [](const BoundaryEvent& a, const BoundaryEvent& b) {
-                       return a.at < b.at;
-                     });
-    Environment& env = *envs_[k + 1];
-    for (const BoundaryEvent& m : ch.msgs) {
-      if (m.at < env.Now()) {
-        throw std::logic_error(
-            "ShardedEngine: boundary event arrives in the destination "
-            "shard's past (conservative horizon violated)");
+  // Hub -> workers: concatenate each shard's lanes in ascending lane order
+  // (each channel already in send/seq order), then stable-sort by arrival
+  // time: ties keep lane-then-seq order. The (time, lane, seq) total order
+  // is independent of the lane->shard assignment.
+  if (pending_to_shard_ != 0) {
+    pending_to_shard_ = 0;
+    for (std::size_t k = 0; k < shards_; ++k) {
+      merge_scratch_.clear();
+      for (const std::size_t l : shard_lanes_[k]) {
+        Channel& ch = to_shard_[l];
+        if (ch.msgs.empty()) continue;
+        merge_scratch_.insert(merge_scratch_.end(), ch.msgs.begin(),
+                              ch.msgs.end());
+        lane_boundary_events_[l] += ch.msgs.size();
+        ch.msgs.clear();
       }
-      env.ScheduleAt(m.at, m.h);
+      if (merge_scratch_.empty()) continue;
+      std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                       [](const BoundaryEvent& a, const BoundaryEvent& b) {
+                         return a.at < b.at;
+                       });
+      Environment& env = *envs_[k + 1];
+      for (const BoundaryEvent& m : merge_scratch_) {
+        if (m.at < env.Now()) {
+          throw std::logic_error(
+              "ShardedEngine: boundary event arrives in the destination "
+              "shard's past (conservative horizon violated)");
+        }
+        env.ScheduleAt(m.at, m.h);
+      }
+      boundary_events_ += merge_scratch_.size();
     }
-    boundary_events_ += ch.msgs.size();
-    ch.msgs.clear();
   }
-  // Worker -> hub: append channels in shard order (each in seq order), then
-  // stable-sort by arrival time: ties keep shard-then-seq order, giving the
-  // (time, shard, seq) total order the determinism contract documents.
+  // Workers -> hub: same (time, lane, seq) merge across every lane.
+  if (pending_to_hub_.load(std::memory_order_relaxed) == 0) return;
+  pending_to_hub_.store(0, std::memory_order_relaxed);
   merge_scratch_.clear();
-  for (std::size_t k = 0; k < shards_; ++k) {
-    Channel& ch = to_hub_[k];
+  for (std::size_t l = 0; l < to_hub_.size(); ++l) {
+    Channel& ch = to_hub_[l];
+    if (ch.msgs.empty()) continue;
     merge_scratch_.insert(merge_scratch_.end(), ch.msgs.begin(),
                           ch.msgs.end());
+    lane_boundary_events_[l] += ch.msgs.size();
     ch.msgs.clear();
   }
   if (merge_scratch_.empty()) return;
@@ -98,55 +156,44 @@ void ShardedEngine::Deliver() {
 void ShardedEngine::StartWorkers() {
   if (!threads_.empty()) return;
   // Capture the spawn-time phase on this thread: a worker that first reads
-  // phase_ only after the engine already opened a window must still see that
-  // window as "new", or it would sleep through it and deadlock the barrier.
-  const std::uint64_t start_phase = phase_.load(std::memory_order_relaxed);
+  // its slot only after the engine already opened a window must still see
+  // that window as "new", or it would sleep through it and deadlock.
   threads_.reserve(shards_);
   for (std::size_t k = 0; k < shards_; ++k) {
-    threads_.emplace_back([this, k, start_phase] { WorkerMain(k, start_phase); });
+    const std::uint64_t start_phase =
+        slots_[k]->phase.load(std::memory_order_relaxed);
+    threads_.emplace_back(
+        [this, k, start_phase] { WorkerMain(k, start_phase); });
   }
 }
 
 void ShardedEngine::StopWorkers() {
   if (threads_.empty()) return;
   stop_.store(true, std::memory_order_relaxed);
-  phase_.fetch_add(1, std::memory_order_release);
-  phase_.notify_all();
+  for (auto& slot : slots_) {
+    slot->phase.fetch_add(1, std::memory_order_release);
+    slot->phase.notify_all();
+  }
   for (std::thread& t : threads_) t.join();
   threads_.clear();
 }
 
 void ShardedEngine::WorkerMain(std::size_t k, std::uint64_t seen) {
   Environment& env = *envs_[k + 1];
+  WorkerSlot& slot = *slots_[k];
   for (;;) {
-    phase_.wait(seen, std::memory_order_acquire);
-    seen = phase_.load(std::memory_order_acquire);
+    slot.phase.wait(seen, std::memory_order_acquire);
+    seen = slot.phase.load(std::memory_order_acquire);
     if (stop_.load(std::memory_order_relaxed)) return;
     try {
-      env.RunUntil(window_deadline_);
+      // The cap can shrink while we run (Send self-caps on the first
+      // boundary message), so the window loop re-reads it per event.
+      env.RunUntilDynamic(&slot.cap);
     } catch (...) {
       worker_errors_[k] = std::current_exception();
     }
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
     remaining_.notify_one();
-  }
-}
-
-void ShardedEngine::RunWindow(TimePoint deadline) {
-  window_deadline_ = deadline;
-  remaining_.store(static_cast<std::uint32_t>(shards_),
-                   std::memory_order_relaxed);
-  phase_.fetch_add(1, std::memory_order_release);
-  phase_.notify_all();
-  for (;;) {
-    const std::uint32_t left = remaining_.load(std::memory_order_acquire);
-    if (left == 0) break;
-    remaining_.wait(left, std::memory_order_acquire);
-  }
-  for (std::size_t k = 0; k < shards_; ++k) {
-    if (worker_errors_[k]) {
-      std::rethrow_exception(std::exchange(worker_errors_[k], nullptr));
-    }
   }
 }
 
@@ -158,34 +205,109 @@ void ShardedEngine::Run() {
   StartWorkers();
   for (;;) {
     Deliver();
-    const TimePoint hub_next = hub().NextEventTime();
+    TimePoint hub_next = hub().NextEventTime();
     TimePoint worker_next = Environment::Never();
     for (std::size_t k = 0; k < shards_; ++k) {
-      worker_next = std::min(worker_next, envs_[k + 1]->NextEventTime());
+      nexts_[k] = envs_[k + 1]->NextEventTime();
+      worker_next = std::min(worker_next, nexts_[k]);
     }
     if (hub_next == Environment::Never() &&
         worker_next == Environment::Never()) {
       break;  // every queue and channel drained
     }
     if (hub_next <= worker_next) {
-      // Hub instant: align every worker clock first so hub code touching
-      // shard-resident objects (fault injection, shutdown) schedules
-      // follow-ups at the current instant, then run the whole instant —
-      // including same-instant cascades — serially on this thread.
-      ++hub_instants_;
-      for (std::size_t k = 0; k < shards_; ++k) {
-        envs_[k + 1]->AdvanceTo(hub_next);
+      // Serial stretch: run hub instants back to back for as long as the
+      // hub stays earliest and nothing crosses a boundary — no channel
+      // drain and no barrier between them. Worker clocks are aligned at
+      // every instant so hub code touching shard-resident objects (fault
+      // injection, shutdown) schedules follow-ups at the current instant,
+      // and each whole instant — including same-instant cascades — runs
+      // serially on this thread.
+      for (;;) {
+        ++hub_instants_;
+        for (std::size_t k = 0; k < shards_; ++k) {
+          if (envs_[k + 1]->Now() < hub_next) envs_[k + 1]->AdvanceTo(hub_next);
+        }
+        hub().RunUntil(hub_next);
+        if (pending_to_shard_ != 0 ||
+            pending_to_hub_.load(std::memory_order_relaxed) != 0) {
+          break;  // boundary traffic: deliver before anything else runs
+        }
+        // The hub may have scheduled directly onto worker queues
+        // (cross-shard mutation during the instant), so rescan both sides.
+        hub_next = hub().NextEventTime();
+        worker_next = Environment::Never();
+        for (std::size_t k = 0; k < shards_; ++k) {
+          worker_next = std::min(worker_next, envs_[k + 1]->NextEventTime());
+        }
+        if (hub_next == Environment::Never() || hub_next > worker_next) break;
       }
-      hub().RunUntil(hub_next);
-    } else {
-      // Parallel window [worker_next, end): conservative because every
-      // boundary message sent from inside the window arrives at or after
-      // worker_next + lookahead >= end, and the hub stays parked (its next
-      // event is at end or later).
-      ++sync_windows_;
-      const TimePoint horizon = worker_next + lookahead_;
-      const TimePoint end = hub_next < horizon ? hub_next : horizon;
-      RunWindow(end - Duration::Nanos(1));
+      continue;
+    }
+    // Parallel window round. Worker k may run through every instant t with
+    //   t <= cap_k = min(hub_next, min_{j != k} next_j + lookahead) - 1ns,
+    // further self-capped by its own boundary sends (see Send): the
+    // earliest possible future hub event is min(hub_next, earliest
+    // boundary arrival), arrivals from shard j land at or after next_j +
+    // lookahead, and a worker accounts for its own sends exactly. Hence no
+    // worker executes an event at or past any future hub event's time —
+    // the invariant hub instants rely on. min()/2nd-min() of next_j +
+    // lookahead give every cap in one pass.
+    ++sync_windows_;
+    TimePoint min1 = Environment::Never();
+    TimePoint min2 = Environment::Never();
+    std::size_t min1_k = shards_;
+    for (std::size_t k = 0; k < shards_; ++k) {
+      if (nexts_[k] == Environment::Never()) continue;
+      const TimePoint c = nexts_[k] + lookahead_;
+      if (c < min1) {
+        min2 = min1;
+        min1 = c;
+        min1_k = k;
+      } else if (c < min2) {
+        min2 = c;
+      }
+    }
+    std::uint32_t participants = 0;
+    // Pass 1: pick participants and publish caps (remaining_ must cover
+    // every participant before the first wakeup). A worker participates
+    // only when its head event fits under its cap; everyone else sleeps
+    // through the round untouched.
+    for (std::size_t k = 0; k < shards_; ++k) {
+      participate_[k] = false;
+      if (nexts_[k] == Environment::Never()) continue;  // idle: never woken
+      const TimePoint others = std::min(hub_next, min1_k == k ? min2 : min1);
+      const TimePoint cap = others == Environment::Never()
+                                ? Environment::Never()
+                                : others - Duration::Nanos(1);
+      if (nexts_[k] > cap) continue;
+      participate_[k] = true;
+      slots_[k]->cap = cap;
+      ++participants;
+    }
+    if (participants == 0) {
+      throw std::logic_error(
+          "ShardedEngine: window opened with no runnable worker (engine "
+          "invariant violated)");
+    }
+    worker_wakeups_ += participants;
+    remaining_.store(participants, std::memory_order_relaxed);
+    // Pass 2: wake exactly the participants.
+    for (std::size_t k = 0; k < shards_; ++k) {
+      if (!participate_[k]) continue;
+      WorkerSlot& slot = *slots_[k];
+      slot.phase.fetch_add(1, std::memory_order_release);
+      slot.phase.notify_one();
+    }
+    for (;;) {
+      const std::uint32_t left = remaining_.load(std::memory_order_acquire);
+      if (left == 0) break;
+      remaining_.wait(left, std::memory_order_acquire);
+    }
+    for (std::size_t k = 0; k < shards_; ++k) {
+      if (worker_errors_[k]) {
+        std::rethrow_exception(std::exchange(worker_errors_[k], nullptr));
+      }
     }
   }
 }

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "metrics/registry.h"
+#include "metrics/trace.h"
 #include "serving/arrivals.h"
 #include "serving/cluster.h"
 #include "serving/router.h"
@@ -410,22 +412,104 @@ TEST(ClusterTest, CrossShardFailoverSpendsNoRetryBudget) {
   EXPECT_GT(cluster.engine().boundary_events(), 0u);
 }
 
+// Returns the invalid_argument message `make_cluster` throws ("" if none).
+template <typename F>
+std::string ConstructionError(F make_cluster) {
+  try {
+    make_cluster();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
 TEST(ClusterTest, ShardedModeRejectsUnpartitionableState) {
-  // Zero network delay: no lookahead, no conservative window.
+  // Zero network delay: no lookahead, no conservative window. The error
+  // names the offending option and the fix.
   serving::ClusterOptions no_delay = SmallCluster(2);
   no_delay.shards = 2;
   no_delay.router.net_delay = Duration::Zero();
-  EXPECT_THROW(serving::Cluster{no_delay}, std::invalid_argument);
-  // Alloc faults: the instantiation-failure path needs a zero-latency hop.
-  serving::ClusterOptions alloc = SmallCluster(2);
-  alloc.shards = 2;
-  alloc.server.faults.AllocFault(At(10), Duration::Millis(5));
-  EXPECT_THROW(serving::Cluster{alloc}, std::invalid_argument);
-  // Both configurations are fine unsharded.
+  {
+    const std::string msg =
+        ConstructionError([&] { serving::Cluster cluster(no_delay); });
+    EXPECT_NE(msg.find("RouterOptions::net_delay"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("shards = 1"), std::string::npos) << msg;
+  }
+  // Device-level capacity faults: the probe reads capacity hub-side. The
+  // error names the fault kind and points at the hub-applied alternative.
+  serving::ClusterOptions cap = SmallCluster(2);
+  cap.shards = 2;
+  cap.server.faults.CapacityFault(At(10), Duration::Millis(5), 0.5);
+  {
+    const std::string msg =
+        ConstructionError([&] { serving::Cluster cluster(cap); });
+    EXPECT_NE(msg.find("kCapacityFault"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("CapacityLoss"), std::string::npos) << msg;
+  }
+  // Adaptive assignment with a wrong-sized weight vector names the option.
+  serving::ClusterOptions weights = SmallCluster(4);
+  weights.shards = 2;
+  weights.assignment = serving::ShardAssignment::kAdaptive;
+  weights.server_weights = {1.0, 2.0};  // 2 weights, 4 servers
+  {
+    const std::string msg =
+        ConstructionError([&] { serving::Cluster cluster(weights); });
+    EXPECT_NE(msg.find("ClusterOptions::server_weights"), std::string::npos)
+        << msg;
+  }
+  // Both rejected configurations are fine unsharded.
   no_delay.shards = 1;
-  alloc.shards = 1;
+  cap.shards = 1;
   EXPECT_NO_THROW(serving::Cluster{no_delay});
-  EXPECT_NO_THROW(serving::Cluster{alloc});
+  EXPECT_NO_THROW(serving::Cluster{cap});
+  // Previously-banned state now shards: alloc faults, a server-side tracer,
+  // and a server-side observability registry all construct at shards=2.
+  serving::ClusterOptions lifted = SmallCluster(2);
+  lifted.shards = 2;
+  lifted.server.faults.AllocFault(At(10), Duration::Millis(5));
+  metrics::Tracer tracer(1000);
+  lifted.server.executor.tracer = &tracer;
+  metrics::MetricRegistry registry;
+  lifted.server.observability.registry = &registry;
+  EXPECT_NO_THROW(serving::Cluster{lifted});
+}
+
+TEST(ClusterTest, ShardedAllocFaultMatchesUnshardedTrajectory) {
+  // Server 0 crashes while every server's device sits in an alloc-fault
+  // window: the crash victims fail over to server 1, whose first-arrival
+  // tenant instantiation hits TransientAllocFailure — the exact path that
+  // used to be banned in sharded mode. The sharded run must replay the
+  // unsharded trajectory bit-for-bit, including the budgeted retries the
+  // alloc failures cost.
+  const auto run = [](std::size_t shards) {
+    serving::ClusterOptions opts = SmallCluster(2);
+    opts.seed = 23;
+    opts.shards = shards;
+    opts.faults.Crash(At(30), Duration::Millis(80), /*server=*/0);
+    opts.server.faults.AllocFault(At(25), Duration::Millis(120));
+    serving::Cluster cluster(opts);
+    std::vector<serving::ClusterClientSpec> clients(
+        4, PoissonClient("googlenet", 150.0, 20));
+    auto results = cluster.Run(clients);
+    return std::make_pair(std::move(results), cluster.counters().retries);
+  };
+  const auto [unsharded, retries1] = run(1);
+  const auto [sharded, retries2] = run(2);
+  // The scenario only proves the lift if instantiation actually failed:
+  // crashes alone fail over for free, so budgeted retries certify alloc
+  // failures fired.
+  EXPECT_GT(retries1, 0u);
+  EXPECT_EQ(retries1, retries2);
+  ASSERT_EQ(unsharded.size(), sharded.size());
+  for (std::size_t i = 0; i < unsharded.size(); ++i) {
+    EXPECT_EQ(unsharded[i].finish_time, sharded[i].finish_time);
+    ASSERT_EQ(unsharded[i].request_latency_ms, sharded[i].request_latency_ms);
+    ASSERT_EQ(unsharded[i].request_status.size(),
+              sharded[i].request_status.size());
+    for (std::size_t r = 0; r < unsharded[i].request_status.size(); ++r) {
+      EXPECT_EQ(unsharded[i].request_status[r], sharded[i].request_status[r]);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/profiler.h"
@@ -262,13 +265,18 @@ TEST(GoldenDeterminismTest, ClusterMatchesGoldenAndReplays) {
 // across shards it too must match the unsharded count (same events, merely
 // executed on different queues).
 
-GoldenClusterRun RunShardedClusterWorkload(std::size_t shards) {
+GoldenClusterRun RunShardedClusterWorkload(
+    std::size_t shards,
+    serving::ShardAssignment assignment = serving::ShardAssignment::kStatic,
+    std::vector<double> weights = {}) {
   serving::ClusterOptions opts;
   opts.num_servers = 4;
   opts.server.num_gpus = 1;
   opts.server.pool_threads = 100;
   opts.seed = 11;
   opts.shards = shards;
+  opts.assignment = assignment;
+  opts.server_weights = std::move(weights);
   opts.faults.Crash(sim::TimePoint() + sim::Duration::Millis(100),
                     sim::Duration::Millis(400), /*server=*/0);
   opts.faults.Partition(sim::TimePoint() + sim::Duration::Millis(300),
@@ -318,6 +326,130 @@ TEST(GoldenDeterminismTest, ShardedClusterWithTwoShardsMatchesToo) {
   const GoldenClusterRun seq = RunShardedClusterWorkload(1);
   const GoldenClusterRun par = RunShardedClusterWorkload(2);
   EXPECT_EQ(par, seq);
+}
+
+TEST(GoldenDeterminismTest, ShardedAdaptiveAssignmentReplaysStaticTrajectory) {
+  // Skewed measured weights pack the servers differently from s % shards —
+  // the boundary merge order is per-lane (per-server), so the trajectory
+  // must not move by a nanosecond at either shard count.
+  const std::vector<double> kWeights{5.0, 1.0, 4.0, 2.0};
+  const GoldenClusterRun seq = RunShardedClusterWorkload(1);
+  const GoldenClusterRun adaptive2 = RunShardedClusterWorkload(
+      2, serving::ShardAssignment::kAdaptive, kWeights);
+  const GoldenClusterRun adaptive4 = RunShardedClusterWorkload(
+      4, serving::ShardAssignment::kAdaptive, kWeights);
+  EXPECT_EQ(adaptive2, seq)
+      << "adaptive assignment at shards=2 diverged from the static "
+         "trajectory";
+  EXPECT_EQ(adaptive4, seq)
+      << "adaptive assignment at shards=4 diverged from the static "
+         "trajectory";
+  // Sanity: the weights above actually change the shards=2 packing versus
+  // s % shards (greedy: server 0 -> shard 0, server 2 -> shard 1, server 3
+  // -> shard 1, server 1 -> shard 0), so the pin is not vacuous.
+  serving::ClusterOptions opts;
+  opts.num_servers = 4;
+  opts.shards = 2;
+  opts.assignment = serving::ShardAssignment::kAdaptive;
+  opts.server_weights = kWeights;
+  serving::Cluster probe(opts);
+  EXPECT_EQ(probe.engine().lane_shard(0), 0u);
+  EXPECT_EQ(probe.engine().lane_shard(1), 0u);
+  EXPECT_EQ(probe.engine().lane_shard(2), 1u);
+  EXPECT_EQ(probe.engine().lane_shard(3), 1u);
+}
+
+// Sharded observability: a cluster run with a server-side tracer AND a
+// server-side registry (both banned in sharded mode before the private-
+// accumulator merge) must export byte-identical artifacts at any shard
+// count. Compares the full Chrome trace JSON, Prometheus exposition, and
+// JSON timeline strings.
+struct GoldenObservabilityRun {
+  GoldenClusterRun run;
+  std::string chrome_trace;
+  std::string prometheus;
+  std::string timeline;
+
+  bool operator==(const GoldenObservabilityRun&) const = default;
+};
+
+GoldenObservabilityRun RunShardedObservabilityWorkload(std::size_t shards) {
+  metrics::Tracer tracer(200000);
+  metrics::MetricRegistry server_registry;
+  metrics::MetricRegistry cluster_registry;
+  serving::ClusterOptions opts;
+  opts.num_servers = 4;
+  opts.server.num_gpus = 1;
+  opts.server.pool_threads = 100;
+  opts.seed = 11;
+  opts.shards = shards;
+  opts.server.executor.tracer = &tracer;
+  opts.server.observability.registry = &server_registry;
+  opts.registry = &cluster_registry;
+  opts.faults.Crash(sim::TimePoint() + sim::Duration::Millis(100),
+                    sim::Duration::Millis(400), /*server=*/0);
+  opts.faults.Partition(sim::TimePoint() + sim::Duration::Millis(300),
+                        sim::Duration::Millis(300), /*server=*/2,
+                        fault::PartitionDirection::kToServer);
+  // Alloc faults so the lifted per-request failure path runs under
+  // observability too.
+  opts.server.faults.AllocFault(
+      sim::TimePoint() + sim::Duration::Millis(80),
+      sim::Duration::Millis(250));
+  serving::Cluster cluster(opts);
+  serving::ClusterClientSpec c;
+  c.request.model = "googlenet";
+  c.request.batch = 10;
+  c.request.num_batches = 5;
+  c.arrivals.kind = serving::ArrivalSpec::Kind::kPoisson;
+  c.arrivals.rate_rps = 120.0;
+  const auto results =
+      cluster.Run(std::vector<serving::ClusterClientSpec>(8, c));
+  GoldenObservabilityRun out;
+  for (const auto& r : results) {
+    out.run.finish_ns.push_back(r.finish_time.nanos());
+    out.run.completed.push_back(r.requests_completed);
+  }
+  out.run.events = cluster.engine().events_executed();
+  out.run.routed = cluster.counters().requests_routed;
+  out.run.ok = cluster.counters().requests_ok;
+  out.run.failed_over = cluster.counters().requests_failed_over;
+  out.run.transitions = cluster.counters().server_transitions;
+  {
+    std::ostringstream os;
+    tracer.WriteChromeTrace(os);
+    out.chrome_trace = os.str();
+  }
+  {
+    std::ostringstream os;
+    server_registry.WritePrometheus(os);
+    os << "--- cluster ---\n";
+    cluster_registry.WritePrometheus(os);
+    out.prometheus = os.str();
+  }
+  {
+    std::ostringstream os;
+    server_registry.WriteJsonTimeline(os);
+    cluster_registry.WriteJsonTimeline(os);
+    out.timeline = os.str();
+  }
+  return out;
+}
+
+TEST(GoldenDeterminismTest, ShardedObservabilityExportsBitIdentical) {
+  const GoldenObservabilityRun seq = RunShardedObservabilityWorkload(1);
+  const GoldenObservabilityRun par = RunShardedObservabilityWorkload(4);
+  EXPECT_GT(seq.chrome_trace.size(), 100u)
+      << "trace export is vacuously empty";
+  EXPECT_NE(seq.prometheus.find("server=\"1\""), std::string::npos)
+      << "per-server counters missing from the merged registry export";
+  EXPECT_EQ(par.run, seq.run);
+  EXPECT_EQ(par.chrome_trace, seq.chrome_trace)
+      << "sharded Chrome trace diverged from the unsharded export";
+  EXPECT_EQ(par.prometheus, seq.prometheus)
+      << "sharded Prometheus export diverged from the unsharded export";
+  EXPECT_EQ(par.timeline, seq.timeline)
+      << "sharded JSON timeline diverged from the unsharded export";
 }
 
 // ---------------------------------------------------------------------------
