@@ -47,13 +47,15 @@ struct ClusterRun {
 };
 
 ClusterRun RunCluster(bool failover, bool crash, bool partition,
-                      bench::SweepCase* record_engine = nullptr) {
+                      bench::SweepCase* record_engine = nullptr,
+                      metrics::PhaseCollector* phases = nullptr) {
   serving::ClusterOptions opts;
   opts.num_servers = 3;
   opts.server.num_gpus = 1;
   opts.server.pool_threads = 100;
   opts.seed = 29;
   opts.router.failover = failover;
+  opts.phases = phases;
   // A request is ~140ms at this sim's scale; windows span several requests
   // and never overlap on the same server, so a survivor always exists.
   if (crash) {
@@ -142,8 +144,16 @@ int main() {
   bench::SweepRunner sweep("cluster_failover");
   for (const Case& cfg : kCases) {
     sweep.Add(cfg.name, [cfg](bench::SweepCase& out) {
-      const ClusterRun run =
-          RunCluster(cfg.failover, cfg.crash, cfg.partition, &out);
+      // Latency anatomy: every request charges its lifetime to phases; the
+      // per-(server, model) blame table rides into BENCH_*.json as "blame".
+      auto phases = std::make_shared<metrics::PhaseCollector>(
+          metrics::PhaseCollector::Options{.slo_ms = 250.0});
+      const ClusterRun run = RunCluster(cfg.failover, cfg.crash,
+                                        cfg.partition, &out, phases.get());
+      out.phases = phases;
+      // The accounting identity (phase sum == end-to-end latency, bit-exact
+      // in virtual time) must hold for every request, faults and all.
+      out.Set("phase_mismatches", static_cast<double>(phases->mismatches()));
       out.Set("availability", Availability(run));
 
       metrics::Series latency;

@@ -1,22 +1,34 @@
 #!/usr/bin/env python3
-"""Validate the artifacts written by examples/observability_tour.
+"""Validate the artifacts written by examples/observability_tour and
+examples/latency_anatomy.
 
 Used by the CI observability-tour job:
 
     ./build/examples/observability_tour
     python3 bench/check_observability.py
 
-Checks:
+    ./build/examples/latency_anatomy 1 anatomy
+    python3 bench/check_observability.py --anatomy anatomy
+
+Default mode checks:
   * observability_trace.json is valid Chrome trace JSON; every record has
     the required fields; at least one request flow (ph s/t/f sharing an id)
     crosses >= 2 device tracks and is well-formed (one begin, one end,
-    "bp":"e" on the terminator, hops monotone in time).
+    "bp":"e" on the terminator, hops monotone in time); the sampler's
+    series appear as 'C' counter events with numeric args.value.
   * observability_metrics.prom parses as Prometheus text exposition: every
     sample belongs to a family with a # TYPE header, histogram buckets are
     cumulative and end at le="+Inf" with a count matching _count, and the
     expected olympian_* families are present.
   * observability_timeline.json parses, and every series has labeled
     points with strictly increasing timestamps.
+
+--anatomy PREFIX checks <PREFIX>_blame.json (phase-sum integrity: zero
+accounting-identity mismatches, internally consistent rows),
+<PREFIX>_incidents.json (state-machine ordering injected <= detected <=
+mitigated, recovery after detection, impact counts), and
+<PREFIX>_trace.json (valid trace carrying incident-track events and 'C'
+counter charts).
 
 Exit status: 0 on pass, 1 on any failure, 2 when an artifact is missing.
 """
@@ -98,6 +110,25 @@ def check_trace():
         fail(f"{TRACE}: flow {crossing} terminator lacks bp=e binding")
     ok(f"{TRACE}: flow {crossing} chains {len(hops)} hops across "
        f"{len({h['tid'] for h in hops})} tracks")
+
+    check_counter_events(TRACE, events)
+
+
+def check_counter_events(path, events):
+    """The sampler's series must ride in the trace as 'C' counter events."""
+    counters = [e for e in events if e["ph"] == "C"]
+    if not counters:
+        fail(f"{path}: no counter events (ph=C) — series not exported")
+        return
+    names = set()
+    for e in counters:
+        value = e.get("args", {}).get("value")
+        if not isinstance(value, (int, float)):
+            fail(f"{path}: counter event {e['name']!r} lacks numeric "
+                 f"args.value")
+            return
+        names.add(e["name"])
+    ok(f"{path}: {len(counters)} counter samples across {len(names)} charts")
 
 
 SAMPLE_RE = re.compile(
@@ -208,10 +239,147 @@ def check_timeline():
     ok(f"{TIMELINE}: {len(series)} series, {len(with_points)} with samples")
 
 
+PHASES = ("router_hop", "router_queue", "admission", "placer_decision",
+          "reload", "batcher_wait", "gpu_queue", "gpu_compute", "backoff",
+          "hedge_overhead", "failover_readmit", "response_hop")
+
+
+def check_blame(prefix):
+    path = f"{prefix}_blame.json"
+    doc = load(path, json.load)
+    for field in ("slo_ms", "requests", "violations", "phase_sum_mismatches",
+                  "rows"):
+        if field not in doc:
+            fail(f"{path}: missing {field!r}")
+            return
+    # THE integrity gate: every request's phase charges tiled its lifetime
+    # bit-exactly. A single missed charge site shows up here.
+    if doc["phase_sum_mismatches"] != 0:
+        fail(f"{path}: {doc['phase_sum_mismatches']} accounting-identity "
+             f"mismatches (phase sum != latency)")
+    if doc["requests"] <= 0:
+        fail(f"{path}: no requests accounted")
+    rows = doc["rows"]
+    if not rows:
+        fail(f"{path}: empty blame table")
+        return
+    req_total = viol_total = 0
+    for r in rows:
+        for field in ("server", "model", "requests", "violations",
+                      "phases_ns", "violation_phases_ns"):
+            if field not in r:
+                fail(f"{path}: row missing {field!r}")
+                return
+        req_total += r["requests"]
+        viol_total += r["violations"]
+        if r["violations"] > r["requests"]:
+            fail(f"{path}: server {r['server']} has more violations than "
+                 f"requests")
+        for phase, ns in r["phases_ns"].items():
+            if phase not in PHASES:
+                fail(f"{path}: unknown phase {phase!r}")
+            if ns < 0:
+                fail(f"{path}: negative charge for {phase!r}")
+        # The violation-restricted sums are a subset of the totals.
+        for phase, ns in r["violation_phases_ns"].items():
+            if ns > r["phases_ns"].get(phase, 0):
+                fail(f"{path}: violation_phases_ns[{phase}] exceeds "
+                     f"phases_ns[{phase}]")
+        if r["violations"] > 0:
+            if r.get("dominant_phase") not in PHASES:
+                fail(f"{path}: violating row lacks a valid dominant_phase")
+            if sum(r.get("dominant_counts", {}).values()) != r["violations"]:
+                fail(f"{path}: dominant_counts do not sum to violations")
+    if req_total != doc["requests"]:
+        fail(f"{path}: row requests {req_total} != total {doc['requests']}")
+    if viol_total != doc["violations"]:
+        fail(f"{path}: row violations {viol_total} != total "
+             f"{doc['violations']}")
+    if not failures:
+        ok(f"{path}: {len(rows)} rows, {doc['requests']} requests, "
+           f"{doc['violations']} violations, identity holds")
+
+
+def check_incidents(prefix):
+    path = f"{prefix}_incidents.json"
+    doc = load(path, json.load)
+    incidents = doc.get("incidents")
+    if not isinstance(incidents, list) or not incidents:
+        fail(f"{path}: expected a non-empty 'incidents' array")
+        return
+    detected = mitigated = 0
+    for inc in incidents:
+        for field in ("server", "kind", "injected_ns", "window_ns",
+                      "detected_ns", "mitigated_ns", "recovered_ns",
+                      "mitigation", "requests_impacted", "failures_impacted",
+                      "goodput_dip"):
+            if field not in inc:
+                fail(f"{path}: incident missing {field!r}")
+                return
+        # State machine ordering: injected -> detected -> mitigated, and
+        # recovery (when seen) comes after detection.
+        if inc["detected_ns"] >= 0:
+            detected += 1
+            if inc["detected_ns"] < inc["injected_ns"]:
+                fail(f"{path}: {inc['kind']}@{inc['server']} detected "
+                     f"before injection")
+            if 0 <= inc["recovered_ns"] < inc["detected_ns"]:
+                fail(f"{path}: {inc['kind']}@{inc['server']} recovered "
+                     f"before detection")
+        if inc["mitigated_ns"] >= 0:
+            mitigated += 1
+            if inc["detected_ns"] < 0:
+                fail(f"{path}: {inc['kind']}@{inc['server']} mitigated "
+                     f"but never detected")
+            elif inc["mitigated_ns"] < inc["detected_ns"]:
+                fail(f"{path}: {inc['kind']}@{inc['server']} mitigated "
+                     f"before detection")
+            if not inc["mitigation"]:
+                fail(f"{path}: mitigated incident lacks a mitigation label")
+        if inc["failures_impacted"] > inc["requests_impacted"]:
+            fail(f"{path}: more failures than requests attributed")
+    if detected == 0:
+        fail(f"{path}: no incident was ever detected")
+    if mitigated == 0:
+        fail(f"{path}: no incident was ever mitigated")
+    if "total_requests" not in doc or doc["total_requests"] <= 0:
+        fail(f"{path}: missing or zero total_requests")
+    if not failures:
+        ok(f"{path}: {len(incidents)} incidents "
+           f"({detected} detected, {mitigated} mitigated)")
+
+
+def check_anatomy_trace(prefix):
+    path = f"{prefix}_trace.json"
+    events = load(path, json.load)
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: expected a non-empty JSON array")
+        return
+    incident_events = [e for e in events if e.get("cat") == "incident"]
+    spans = [e for e in incident_events if e["ph"] == "X"]
+    marks = [e for e in incident_events if e["ph"] == "i"]
+    if not spans:
+        fail(f"{path}: no incident spans on the incident track")
+    if not marks:
+        fail(f"{path}: no detection/mitigation/recovery marks")
+    tracks = {e["tid"] for e in incident_events}
+    if len(tracks) > 1:
+        fail(f"{path}: incident events scattered across tracks {tracks}")
+    if not failures:
+        ok(f"{path}: {len(spans)} incident spans, {len(marks)} marks")
+    check_counter_events(path, events)
+
+
 def main():
-    check_trace()
-    check_prometheus()
-    check_timeline()
+    if len(sys.argv) >= 3 and sys.argv[1] == "--anatomy":
+        prefix = sys.argv[2]
+        check_blame(prefix)
+        check_incidents(prefix)
+        check_anatomy_trace(prefix)
+    else:
+        check_trace()
+        check_prometheus()
+        check_timeline()
     if failures:
         print(f"\n{len(failures)} observability check(s) failed",
               file=sys.stderr)

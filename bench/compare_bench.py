@@ -31,7 +31,12 @@ Within-run gates (evaluated on the CURRENT file only, no baseline needed):
     paired BM_*ObservabilityOverhead benchmarks, which interleave the plain
     and observed configuration within each iteration (so host drift
     cancels) and export the observed/plain rate ratio as a counter.
-All three flags are repeatable; benchmark names match exactly.
+  * --require-counter NAME:counter — presence gate, no bound: the named
+    counter must exist (and be numeric) on that benchmark/case in the
+    CURRENT run. Used to pin artifact schema: a sweep case that silently
+    stops emitting e.g. phase_mismatches or shards fails CI even though no
+    threshold compares it.
+All four flags are repeatable; benchmark names match exactly.
 
 Exit status: 0 on pass, 1 on any regression, 2 on usage/parse errors.
 """
@@ -159,6 +164,22 @@ def check_counter_bounds(benchmarks, specs, failures, *, lower):
               f"{value:.4f} ({word} {bound:.4f})")
 
 
+def check_required_counters(benchmarks, specs, failures):
+    for spec in specs:
+        parts = spec.rsplit(":", 1)
+        if len(parts) != 2:
+            print(f"error: bad --require-counter spec {spec!r} "
+                  f"(want NAME:counter)", file=sys.stderr)
+            sys.exit(2)
+        name, counter = parts
+        value, err = counter_value(benchmarks, name, counter)
+        if err:
+            failures.append(err)
+            print(f"{'MISSING':>10}  {name}  {counter}")
+        else:
+            print(f"{'ok':>10}  {name}  {counter}  present ({value:.4g})")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("current", help="freshly produced benchmark JSON")
@@ -182,6 +203,10 @@ def main():
                     metavar="NAME:COUNTER:FLOOR",
                     help="require a counter of one current-run benchmark to "
                          "stay >= FLOOR (repeatable)")
+    ap.add_argument("--require-counter", action="append", default=[],
+                    metavar="NAME:COUNTER",
+                    help="require the named counter to be present (numeric) "
+                         "on one current-run benchmark (repeatable)")
     args = ap.parse_args()
 
     current = load_benchmarks(args.current)
@@ -243,7 +268,9 @@ def main():
     check_min_ratios(current, args.min_ratio, failures)
     check_counter_bounds(current, args.max_counter, failures, lower=False)
     check_counter_bounds(current, args.min_counter, failures, lower=True)
-    gates = len(args.min_ratio) + len(args.max_counter) + len(args.min_counter)
+    check_required_counters(current, args.require_counter, failures)
+    gates = (len(args.min_ratio) + len(args.max_counter) +
+             len(args.min_counter) + len(args.require_counter))
 
     if compared == 0 and gates == 0:
         print("error: nothing compared (filter too strict?)", file=sys.stderr)

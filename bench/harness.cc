@@ -218,6 +218,7 @@ Json SloJson(const metrics::SloReport& r) {
       .Set("p50_ms", Json::Num(r.p50_ms))
       .Set("p95_ms", Json::Num(r.p95_ms))
       .Set("p99_ms", Json::Num(r.p99_ms))
+      .Set("p999_ms", Json::Num(r.p999_ms))
       .Set("max_ms", Json::Num(r.max_ms));
   Json per_model = Json::Array();
   for (const auto& m : r.per_model) {
@@ -230,6 +231,8 @@ Json SloJson(const metrics::SloReport& r) {
                        .Set("p50_ms", Json::Num(m.p50_ms))
                        .Set("p95_ms", Json::Num(m.p95_ms))
                        .Set("p99_ms", Json::Num(m.p99_ms))
+                       .Set("p999_ms", Json::Num(m.p999_ms))
+                       .Set("max_ms", Json::Num(m.max_ms))
                        .Set("goodput_rps", Json::Num(m.goodput_rps)));
   }
   Json out = Json::Object();
@@ -246,6 +249,63 @@ Json SloJson(const metrics::SloReport& r) {
       .Set("latency", std::move(latency))
       .Set("goodput_rps", Json::Num(r.goodput_rps))
       .Set("per_model", std::move(per_model));
+  return out;
+}
+
+namespace {
+
+// Phase map as a JSON object, zero-valued phases skipped (mirrors
+// PhaseCollector::WriteBlameJson). Integer nanoseconds survive the double
+// round-trip exactly for any run shorter than ~104 days of virtual time.
+template <typename T>
+Json PhaseMapJson(const std::array<T, metrics::kPhaseCount>& per_phase) {
+  Json out = Json::Object();
+  for (int i = 0; i < metrics::kPhaseCount; ++i) {
+    const T v = per_phase[static_cast<std::size_t>(i)];
+    if (v == 0) continue;
+    out.Set(metrics::PhaseName(static_cast<metrics::Phase>(i)),
+            Json::Num(static_cast<double>(v)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json BlameJson(const metrics::PhaseCollector& c) {
+  Json rows = Json::Array();
+  for (const auto& [key, row] : c.rows()) {
+    Json row_json = Json::Object();
+    row_json.Set("server", Json::Num(static_cast<double>(key.first)))
+        .Set("model", Json::Str(key.second))
+        .Set("requests", Json::Num(static_cast<double>(row.requests)))
+        .Set("violations", Json::Num(static_cast<double>(row.violations)));
+    if (row.violations > 0) {
+      // Highest dominant count wins, ties toward the lowest phase index —
+      // the same rule as PhaseAccount::Dominant.
+      int best = 0;
+      for (int i = 1; i < metrics::kPhaseCount; ++i) {
+        if (row.dominant[static_cast<std::size_t>(i)] >
+            row.dominant[static_cast<std::size_t>(best)])
+          best = i;
+      }
+      row_json.Set("dominant_phase",
+                   Json::Str(metrics::PhaseName(static_cast<metrics::Phase>(
+                       best))));
+    }
+    row_json.Set("phases_ns", PhaseMapJson(row.total_ns))
+        .Set("violation_phases_ns", PhaseMapJson(row.violation_ns));
+    if (row.violations > 0) {
+      row_json.Set("dominant_counts", PhaseMapJson(row.dominant));
+    }
+    rows.Push(std::move(row_json));
+  }
+  Json out = Json::Object();
+  out.Set("slo_ms", Json::Num(c.slo_ms()))
+      .Set("requests", Json::Num(static_cast<double>(c.requests())))
+      .Set("violations", Json::Num(static_cast<double>(c.violations())))
+      .Set("phase_sum_mismatches",
+           Json::Num(static_cast<double>(c.mismatches())))
+      .Set("rows", std::move(rows));
   return out;
 }
 
@@ -356,6 +416,11 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
   Json cases_json = Json::Array();
   metrics::SloAccumulator merged_slo;
   double merged_window = 0.0;
+  // Artifact-level blame table, folded over every case that carried a
+  // PhaseCollector. The merged collector inherits the first contributing
+  // case's SLO threshold (rows arrive with violations already classified,
+  // so the threshold is informational in the merged block).
+  std::shared_ptr<metrics::PhaseCollector> merged_phases;
   // Engine counters pooled across cases: shards is the widest partition any
   // case ran with (1 when no case recorded an engine — every artifact still
   // carries the block), windows/boundary events are totals.
@@ -398,6 +463,14 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
     if (r.histograms != nullptr) {
       case_json.Set("histograms", *r.histograms);
     }
+    if (r.phases != nullptr) {
+      case_json.Set("blame", BlameJson(*r.phases));
+      if (merged_phases == nullptr) {
+        merged_phases = std::make_shared<metrics::PhaseCollector>(
+            metrics::PhaseCollector::Options{.slo_ms = r.phases->slo_ms()});
+      }
+      merged_phases->MergeFrom(*r.phases);
+    }
     cases_json.Push(std::move(case_json));
   }
   Json root = Json::Object();
@@ -408,6 +481,11 @@ const std::vector<SweepCase>& SweepRunner::RunAll() {
       // over all cases that recorded request outcomes (empty-traffic report
       // when none did).
       .Set("slo", SloJson(merged_slo.Report(merged_window)))
+      // Artifact-level blame table beside the SLO block: pooled over all
+      // cases that accounted phases, an empty table when none did.
+      .Set("blame", BlameJson(merged_phases != nullptr
+                                  ? *merged_phases
+                                  : metrics::PhaseCollector{}))
       .Set("engine", [&] {
         Json shard_events = Json::Array();
         for (const std::uint64_t e : agg_shard_events) {

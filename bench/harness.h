@@ -16,6 +16,7 @@
 #include "core/profiler.h"
 #include "core/scheduler.h"
 #include "json.h"
+#include "metrics/phase_account.h"
 #include "metrics/registry.h"
 #include "metrics/slo.h"
 #include "metrics/stats.h"
@@ -107,6 +108,11 @@ struct SweepCase {
   // MTTR: an object mapping name -> histogram block, embedded as
   // "histograms" in the case's JSON when set.
   std::shared_ptr<Json> histograms;
+  // Optional latency-anatomy blame table: cases that ran with a
+  // metrics::PhaseCollector park it here; RunAll() embeds it as "blame" in
+  // the case's JSON and folds every case's rows into the artifact-level
+  // blame block stamped beside "slo" in every BENCH_*.json.
+  std::shared_ptr<metrics::PhaseCollector> phases;
   void Set(std::string key, double v) {
     metrics.emplace_back(std::move(key), v);
   }
@@ -138,6 +144,12 @@ struct SweepCase {
 // JSON block for an SLO report; attached per case and at artifact top level
 // by SweepRunner::RunAll, and reusable by custom emitters.
 Json SloJson(const metrics::SloReport& report);
+
+// JSON block for a PhaseCollector's tail-blame table — same shape as
+// PhaseCollector::WriteBlameJson (slo_ms, requests, violations,
+// phase_sum_mismatches, rows with integer-nanosecond phase maps), built as
+// a bench::Json so it can ride inside BENCH_*.json artifacts.
+Json BlameJson(const metrics::PhaseCollector& collector);
 
 // JSON block for a registry's sampled time series (the compact timeline the
 // virtual-clock sampler produces): {"series":[{name, labels, points}...]}.

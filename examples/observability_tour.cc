@@ -44,7 +44,10 @@ using namespace olympian;
 
 int main() {
   const sim::TimePoint t0;
-  metrics::Tracer tracer(300000);
+  // Sized for the full run plus the post-run counter export: the staged
+  // outage produces ~335k node/attempt spans, and truncation here would eat
+  // the counter events appended after the run.
+  metrics::Tracer tracer(400000);
   metrics::MetricRegistry registry;
 
   serving::ServerOptions opts;
@@ -139,6 +142,10 @@ int main() {
   exp.counters().Print(std::cout);
 
   {
+    // Fold the sampler's series into the trace as 'C' counter events, so
+    // utilization / queue depth / health render as charts on the same
+    // Perfetto timeline as the span flows.
+    metrics::ExportCountersToTrace(registry, tracer);
     std::ofstream os("observability_trace.json");
     tracer.WriteChromeTrace(os);
   }

@@ -99,6 +99,7 @@ void Gpu::Enqueue(StreamId stream, const KernelDesc& desc,
   k->in_flight = 0;
   k->exclusive = desc.thread_blocks >= options_.spec.total_block_slots();
   k->failed = false;
+  k->enqueued = env_.Now();
   k->waiter = waiter;
   k->failed_out = failed_out;
   Stream& s = *streams_[static_cast<std::size_t>(stream)];
@@ -244,6 +245,10 @@ void Gpu::Dispatch() {
           continue;
         }
         cur->active = cur->queue.pop();
+        // Compute-start stamp: the kernel leaves the queue here (kernels
+        // failed while still queued never start and are not counted).
+        queue_wait_ns_ += (env_.Now() - cur->active->enqueued).nanos();
+        ++kernels_dequeued_;
         --burst_left_;
       } else if (cur->active->blocks_left == 0) {
         // Active kernel fully issued but still draining; in-stream FIFO means

@@ -287,6 +287,15 @@ class Gpu {
   // Kernels submitted but not yet retired (queued + resident across all
   // streams) — the device-wide queue depth the sampler snapshots.
   std::int64_t pending_kernels() const { return pending_kernels_; }
+  // Total time kernels spent between Enqueue and compute start, summed
+  // over every kernel that started executing (queue-entry/compute-start
+  // stamps). With kernels_dequeued() this gives the device's mean queue
+  // wait, which the sampler publishes as a time series.
+  sim::Duration TotalQueueWait() const {
+    return sim::Duration::Nanos(queue_wait_ns_);
+  }
+  // Kernels that left the stream queue and started executing.
+  std::uint64_t kernels_dequeued() const { return kernels_dequeued_; }
   std::int64_t free_slots() const { return free_slots_; }
   bool idle() const { return busy_.depth() == 0; }
 
@@ -302,6 +311,10 @@ class Gpu {
     bool exclusive = false;
     // Set by fault injection; reported to the submitter at retirement.
     bool failed = false;
+    // Queue-entry stamp: when Enqueue accepted the kernel. The delta to
+    // compute start (the stream making it active) is the device-level
+    // queue wait the latency-anatomy accounting publishes.
+    sim::TimePoint enqueued;
     std::coroutine_handle<> waiter;
     bool* failed_out = nullptr;  // points into the submitter's awaiter frame
     Kernel* next = nullptr;      // intrusive link: stream FIFO / freelist
@@ -427,6 +440,8 @@ class Gpu {
   std::uint64_t resets_ = 0;
   std::uint64_t waves_dispatched_ = 0;
   std::uint64_t waves_coalesced_ = 0;
+  std::int64_t queue_wait_ns_ = 0;
+  std::uint64_t kernels_dequeued_ = 0;
   std::int64_t pending_kernels_ = 0;  // alloc'd kernel records in flight
   bool dispatching_ = false;
 

@@ -196,7 +196,7 @@ sim::Task Executor::Compute(JobContext& ctx, RunState& st, const Node& node) {
     st.profile->RecordNodeCost(
         node.id, static_cast<double>((env_.Now() - t0).nanos()));
   }
-  if (options_.tracer != nullptr) {
+  if (options_.tracer != nullptr && options_.trace_node_spans) {
     // Numbered ("node-<id>") rather than the graph's string name: this runs
     // once per node execution, and interning every name would hash and
     // allocate ~graph-size strings per fresh tracer — measurable against

@@ -39,6 +39,11 @@ struct ExecutorOptions {
   // Optional execution tracing: every node records a span on its job's
   // track (see metrics/trace.h). Must outlive the executor.
   metrics::Tracer* tracer = nullptr;
+  // With a tracer set, also record one span per node execution. Node spans
+  // dominate trace volume (graph-size events per inference); disabling them
+  // keeps the request/attempt flow chains while leaving the buffer to
+  // request-level events — what a cluster-scale drill wants.
+  bool trace_node_spans = true;
 };
 
 // The dataflow-graph executor — the paper's Algorithm 1 (and, with a

@@ -1,0 +1,188 @@
+#include "metrics/phase_account.h"
+
+#include <ostream>
+
+namespace olympian::metrics {
+
+const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kRouterHop:
+      return "router_hop";
+    case Phase::kRouterQueue:
+      return "router_queue";
+    case Phase::kAdmission:
+      return "admission";
+    case Phase::kPlacerDecision:
+      return "placer_decision";
+    case Phase::kReload:
+      return "reload";
+    case Phase::kBatcherWait:
+      return "batcher_wait";
+    case Phase::kGpuQueue:
+      return "gpu_queue";
+    case Phase::kGpuCompute:
+      return "gpu_compute";
+    case Phase::kBackoff:
+      return "backoff";
+    case Phase::kHedgeOverhead:
+      return "hedge_overhead";
+    case Phase::kFailoverReadmit:
+      return "failover_readmit";
+    case Phase::kResponseHop:
+      return "response_hop";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::int64_t PhaseAccount::TotalNs() const {
+  std::int64_t sum = 0;
+  for (std::int64_t v : ns_) sum += v;
+  return sum;
+}
+
+Phase PhaseAccount::Dominant() const {
+  int best = 0;
+  for (int i = 1; i < kPhaseCount; ++i) {
+    if (ns_[static_cast<std::size_t>(i)] > ns_[static_cast<std::size_t>(best)])
+      best = i;
+  }
+  return static_cast<Phase>(best);
+}
+
+PhaseCollector::PhaseCollector(const Options& opts) : opts_(opts) {
+  if (opts_.registry != nullptr) {
+    for (int i = 0; i < kPhaseCount; ++i) {
+      hist_[static_cast<std::size_t>(i)] = &opts_.registry->GetHistogram(
+          "olympian_phase_ms",
+          {{"phase", PhaseName(static_cast<Phase>(i))}});
+    }
+    requests_counter_ =
+        &opts_.registry->GetCounter("olympian_phase_requests_total");
+    violations_counter_ =
+        &opts_.registry->GetCounter("olympian_phase_slo_violations_total");
+    mismatch_counter_ =
+        &opts_.registry->GetCounter("olympian_phase_sum_mismatches_total");
+  }
+}
+
+void PhaseCollector::Record(int server, const std::string& model,
+                            const PhaseAccount& pa, bool ok,
+                            sim::Duration latency) {
+  Row& row = rows_[Key{server, model}];
+  ++row.requests;
+  ++requests_;
+  if (pa.TotalNs() != latency.nanos()) ++mismatches_;
+  const double latency_ms = static_cast<double>(latency.nanos()) / 1e6;
+  const bool violating =
+      !ok || (opts_.slo_ms > 0.0 && latency_ms > opts_.slo_ms);
+  if (violating) {
+    ++row.violations;
+    ++violations_;
+    ++row.dominant[static_cast<std::size_t>(static_cast<int>(pa.Dominant()))];
+  }
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const std::int64_t v = pa.phases_ns()[static_cast<std::size_t>(i)];
+    row.total_ns[static_cast<std::size_t>(i)] += v;
+    if (violating) row.violation_ns[static_cast<std::size_t>(i)] += v;
+    // Only phases the request actually passed through land in the
+    // histograms; charging zeros for the other ten would drown the signal.
+    if (v > 0 && hist_[static_cast<std::size_t>(i)] != nullptr) {
+      hist_[static_cast<std::size_t>(i)]->Observe(static_cast<double>(v) /
+                                                  1e6);
+    }
+  }
+  if (requests_counter_ != nullptr) {
+    requests_counter_->Inc();
+    if (violating) violations_counter_->Inc();
+    mismatch_counter_->Set(mismatches_);
+  }
+}
+
+void PhaseCollector::MergeFrom(const PhaseCollector& src) {
+  for (const auto& [key, srow] : src.rows_) {
+    Row& row = rows_[key];
+    row.requests += srow.requests;
+    row.violations += srow.violations;
+    for (int i = 0; i < kPhaseCount; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      row.total_ns[idx] += srow.total_ns[idx];
+      row.violation_ns[idx] += srow.violation_ns[idx];
+      row.dominant[idx] += srow.dominant[idx];
+    }
+  }
+  requests_ += src.requests_;
+  violations_ += src.violations_;
+  mismatches_ += src.mismatches_;
+}
+
+namespace {
+
+void WritePhaseMap(std::ostream& os, const char* key,
+                   const std::array<std::int64_t, kPhaseCount>& ns,
+                   bool skip_zero) {
+  os << '"' << key << "\":{";
+  bool first = true;
+  for (int i = 0; i < kPhaseCount; ++i) {
+    const std::int64_t v = ns[static_cast<std::size_t>(i)];
+    if (skip_zero && v == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << PhaseName(static_cast<Phase>(i)) << "\":" << v;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void PhaseCollector::WriteBlameJson(std::ostream& os) const {
+  os << "{\n";
+  os << "  \"slo_ms\": " << opts_.slo_ms << ",\n";
+  os << "  \"requests\": " << requests_ << ",\n";
+  os << "  \"violations\": " << violations_ << ",\n";
+  os << "  \"phase_sum_mismatches\": " << mismatches_ << ",\n";
+  os << "  \"rows\": [";
+  bool first_row = true;
+  for (const auto& [key, row] : rows_) {
+    if (!first_row) os << ',';
+    first_row = false;
+    os << "\n    {\"server\": " << key.first << ", \"model\": \""
+       << key.second << "\", \"requests\": " << row.requests
+       << ", \"violations\": " << row.violations;
+    // Dominant phase of the row's violations: highest count, ties toward
+    // the lowest phase index (same rule as PhaseAccount::Dominant).
+    if (row.violations > 0) {
+      int best = 0;
+      for (int i = 1; i < kPhaseCount; ++i) {
+        if (row.dominant[static_cast<std::size_t>(i)] >
+            row.dominant[static_cast<std::size_t>(best)])
+          best = i;
+      }
+      os << ", \"dominant_phase\": \"" << PhaseName(static_cast<Phase>(best))
+         << '"';
+    }
+    os << ", ";
+    WritePhaseMap(os, "phases_ns", row.total_ns, /*skip_zero=*/true);
+    os << ", ";
+    WritePhaseMap(os, "violation_phases_ns", row.violation_ns,
+                  /*skip_zero=*/true);
+    if (row.violations > 0) {
+      os << ", \"dominant_counts\":{";
+      bool first = true;
+      for (int i = 0; i < kPhaseCount; ++i) {
+        const std::uint64_t c = row.dominant[static_cast<std::size_t>(i)];
+        if (c == 0) continue;
+        if (!first) os << ',';
+        first = false;
+        os << '"' << PhaseName(static_cast<Phase>(i)) << "\":" << c;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  if (!first_row) os << "\n  ";
+  os << "]\n}\n";
+}
+
+}  // namespace olympian::metrics

@@ -64,6 +64,8 @@ SloReport SloAccumulator::Report(double window_seconds,
       row.p50_ms = m.success_latency_ms.Percentile(50);
       row.p95_ms = m.success_latency_ms.Percentile(95);
       row.p99_ms = m.success_latency_ms.Percentile(99);
+      row.p999_ms = m.success_latency_ms.Percentile(99.9);
+      row.max_ms = m.success_latency_ms.Max();
     }
     row.goodput_rps = window_seconds > 0.0
                           ? static_cast<double>(ok) / window_seconds
@@ -91,6 +93,7 @@ SloReport SloAccumulator::Report(double window_seconds,
     r.p50_ms = all_latency.Percentile(50);
     r.p95_ms = all_latency.Percentile(95);
     r.p99_ms = all_latency.Percentile(99);
+    r.p999_ms = all_latency.Percentile(99.9);
     r.max_ms = all_latency.Max();
   }
   r.goodput_rps = window_seconds > 0.0
@@ -108,7 +111,8 @@ void SloReport::Print(std::ostream& os) const {
      << "  availability: " << availability << "  error-budget burn: "
      << error_budget_burn << '\n'
      << "  latency ms (successes): mean " << mean_ms << "  p50 " << p50_ms
-     << "  p95 " << p95_ms << "  p99 " << p99_ms << "  max " << max_ms << '\n'
+     << "  p95 " << p95_ms << "  p99 " << p99_ms << "  p99.9 " << p999_ms
+     << "  max " << max_ms << '\n'
      << "  goodput: " << goodput_rps << " rps\n";
   for (const ModelRow& m : per_model) {
     os << "    model " << m.model << ": " << m.succeeded << '/' << m.total

@@ -50,6 +50,7 @@ struct SloReport {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
   double max_ms = 0.0;
 
   double goodput_rps = 0.0;  // succeeded / window
@@ -62,6 +63,8 @@ struct SloReport {
     double p50_ms = 0.0;
     double p95_ms = 0.0;
     double p99_ms = 0.0;
+    double p999_ms = 0.0;
+    double max_ms = 0.0;
     double goodput_rps = 0.0;
   };
   std::vector<ModelRow> per_model;  // sorted by model name

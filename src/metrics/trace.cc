@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "metrics/registry.h"
+
 namespace olympian::metrics {
 
 const char* Tracer::Intern(std::string_view s) {
@@ -92,6 +94,10 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
       case 'i':
         os << R"(,"ph":"i","s":"t"})";
         break;
+      case 'C':
+        // Counter sample; Perfetto plots args.value under the event name.
+        os << R"(,"ph":"C","args":{"value":)" << e.value << "}}";
+        break;
       case 's':
       case 't':
       case 'f':
@@ -119,6 +125,17 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
        << R"(,"max_events":)" << max_events_ << "}}";
   }
   os << "\n]\n";
+}
+
+void ExportCountersToTrace(const MetricRegistry& registry, Tracer& tracer) {
+  for (const auto& [name, labels, series] : registry.Series()) {
+    const char* counter_name =
+        tracer.Intern(labels.empty() ? name : name + labels);
+    for (const auto& [t_ns, value] : series->points()) {
+      tracer.AddCounter("metric", counter_name, 0,
+                        sim::TimePoint() + sim::Duration::Nanos(t_ns), value);
+    }
+  }
 }
 
 }  // namespace olympian::metrics

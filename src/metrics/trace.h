@@ -11,6 +11,8 @@
 
 namespace olympian::metrics {
 
+class MetricRegistry;
+
 // Structured execution tracing with Chrome trace-event export.
 //
 // Components (executor, scheduler) record spans — named intervals on a
@@ -48,6 +50,9 @@ class Tracer {
   // Track used by the health monitor for device state transitions and
   // outage spans.
   static constexpr std::int64_t kHealthTrack = -3;
+  // Track used by IncidentLog::Annotate for incident spans and their
+  // detection/mitigation/recovery marks.
+  static constexpr std::int64_t kIncidentTrack = -4;
 
   // Sentinel: event has no numeric name suffix.
   static constexpr std::int64_t kNoNumber = INT64_MIN;
@@ -93,6 +98,14 @@ class Tracer {
                std::uint64_t flow_id, std::int64_t track, sim::TimePoint t,
                const char* detail);
 
+  // Records a Chrome counter event ('C'): `value` plotted at `t` under the
+  // counter named `name`. Perfetto renders each counter name as its own
+  // chart on the trace timeline, which is how the sampler's utilization /
+  // queue-depth / health series line up with flow chains and incident
+  // marks (see ExportCountersToTrace).
+  void AddCounter(const char* category, const char* name, std::int64_t track,
+                  sim::TimePoint t, double value);
+
   // Returns a pointer, stable for the tracer's lifetime, to a deduplicated
   // copy of `s`. For cold paths that compose names dynamically (health
   // transitions, fault descriptions); repeated strings are stored once.
@@ -120,10 +133,11 @@ class Tracer {
     std::int64_t start_ns;
     std::int64_t dur_ns;     // -1 => instant or flow hop
     std::uint64_t flow = 0;  // flow id; meaningful only when ph is s/t/f
-    char ph = 'X';           // 'X' span, 'i' instant, 's'/'t'/'f' flow
+    char ph = 'X';  // 'X' span, 'i' instant, 's'/'t'/'f' flow, 'C' counter
     // Flow-hop annotation (why the leg started / how the flow ended);
     // nullptr => none. Rendered as args:{"reason":...} on flow phases.
     const char* detail = nullptr;
+    double value = 0.0;  // counter ('C') sample value
   };
 
   // Raw events, for programmatic analysis (tests, custom reports).
@@ -196,6 +210,25 @@ inline void Tracer::AddFlow(FlowPhase phase, const char* category,
                             std::int64_t track, sim::TimePoint t) {
   AddFlow(phase, category, name, flow_id, track, t, nullptr);
 }
+
+inline void Tracer::AddCounter(const char* category, const char* name,
+                               std::int64_t track, sim::TimePoint t,
+                               double value) {
+  if (full()) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{category, name, kNoNumber, track, t.nanos(), -1, 0,
+                          'C', nullptr, value});
+}
+
+// Replays every sampled time series of `registry` into `tracer` as Chrome
+// counter events ("metric" category, counter name = series name plus its
+// rendered label block), so the sampler's per-device utilization, queue
+// depth, and health series appear on the same Perfetto timeline as flow
+// chains and incident marks. Deterministic: series iterate in registry key
+// order. Call once, after the run, before WriteChromeTrace.
+void ExportCountersToTrace(const MetricRegistry& registry, Tracer& tracer);
 
 inline void Tracer::AddFlow(FlowPhase phase, const char* category,
                             const char* name, std::uint64_t flow_id,

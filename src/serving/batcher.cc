@@ -37,9 +37,9 @@ int Batcher::PadToAllowed(int items) const {
   return options_.allowed_batch_sizes.back();
 }
 
-sim::Task Batcher::Infer(sim::Duration* latency) {
+sim::Task Batcher::Infer(sim::Duration* latency, metrics::PhaseAccount* pa) {
   if (closed_) throw std::logic_error("Infer after Close");
-  Request req{env_.Now(), false};
+  Request req{env_.Now(), false, pa};
   pending_.push_back(&req);
   wake_.NotifyAll();
   while (!req.done) co_await done_cv_.Wait();
@@ -83,7 +83,32 @@ sim::Task Batcher::Dispatcher() {
     const int padded = PadToAllowed(take);
     ctx_.batch = padded;
     ctx_.model_key = models::ModelKey(model_, padded);
+    // Everything up to this instant was time spent waiting for the batch to
+    // close; the run interval below is split into GPU residency vs. queueing.
+    // Completion (and each waiter's resume) happens at the same virtual
+    // instant as the charges below, so the phase-sum identity holds.
+    bool any_accounted = false;
+    for (Request* r : batch) {
+      if (r->pa != nullptr) {
+        r->pa->Charge(metrics::Phase::kBatcherWait, env_.Now());
+        any_accounted = true;
+      }
+    }
+    const sim::Duration gpu_before =
+        any_accounted
+            ? exp_.gpu(options_.gpu_index).JobGpuDuration(ctx_.job)
+            : sim::Duration::Zero();
     co_await exp_.executor(options_.gpu_index).RunOnce(ctx_, graph_);
+    if (any_accounted) {
+      const sim::Duration compute =
+          exp_.gpu(options_.gpu_index).JobGpuDuration(ctx_.job) - gpu_before;
+      for (Request* r : batch) {
+        if (r->pa != nullptr) {
+          r->pa->SplitCharge(metrics::Phase::kGpuCompute, compute,
+                             metrics::Phase::kGpuQueue, env_.Now());
+        }
+      }
+    }
 
     ++batches_executed_;
     items_served_ += static_cast<std::uint64_t>(take);

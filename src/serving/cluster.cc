@@ -142,6 +142,10 @@ Cluster::Cluster(ClusterOptions options)
   router_ = std::make_unique<Router>(env_, transport, servers_.size(),
                                      options_.router, &counters_,
                                      options_.registry);
+  router_->set_incident_log(options_.incidents);
+  // Handing the cluster an incident log is the opt-in; feeding calls are
+  // no-ops on a disabled log, so this keeps call sites unconditional.
+  if (options_.incidents != nullptr) options_.incidents->Enable();
   crashed_until_.resize(servers_.size());
   hung_until_.resize(servers_.size());
   part_to_until_.resize(servers_.size());
@@ -220,6 +224,10 @@ void Cluster::ApplyServerFault(const fault::ServerFaultEvent& e) {
   const sim::TimePoint now = env_.Now();
   const sim::TimePoint until = now + e.duration;
   Experiment& srv = *servers_.at(e.server);
+  if (options_.incidents != nullptr) {
+    options_.incidents->Inject(static_cast<int>(e.server),
+                               fault::ToString(e.kind), now, e.duration);
+  }
   switch (e.kind) {
     case fault::ServerFaultKind::kCrash:
       // Process crash: every device resets at once and submissions fail
@@ -332,17 +340,25 @@ sim::Task Cluster::EnsureTenant(std::size_t server, std::size_t client,
 sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
                                    std::size_t home, sim::Rng& rng,
                                    sim::TimePoint arrival,
-                                   RequestStatus& status) {
+                                   RequestStatus& status,
+                                   metrics::PhaseAccount* pa,
+                                   std::size_t* served) {
   const RouterOptions& ro = options_.router;
+  metrics::IncidentLog* const ilog = options_.incidents;
   // Brownout admission control: a shed class is rejected at the front door
   // before any routing or network cost (load it cannot carry is exactly
   // what the cluster is shedding).
   if (router_->BrownoutSheds(spec.priority)) {
     ++counters_.requests_shed_brownout;
     status = RequestStatus::kRejected;
+    if (pa != nullptr) pa->Charge(metrics::Phase::kAdmission, env_.Now());
     co_await env_.Delay(ro.retry_backoff);
+    if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
     co_return;
   }
+  // Tracks whether the leg about to start is a free failover re-admission;
+  // its forward hop is then blamed on the failover, not on routine routing.
+  bool failing_over = false;
   for (int attempt = 1;;) {
     const std::size_t s = router_->Route(home);
     if (s == Router::kNoServer) {
@@ -350,9 +366,12 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
       // instead of spinning (mirrors requests_rejected_no_device).
       ++counters_.requests_rejected_no_server;
       status = RequestStatus::kRejected;
+      if (pa != nullptr) pa->Charge(metrics::Phase::kAdmission, env_.Now());
       co_await env_.Delay(ro.retry_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       co_return;
     }
+    if (served != nullptr) *served = s;
     router_->OnRequestStart(s);
 
     // Forward leg. A partition active at send time drops the request; the
@@ -363,15 +382,27 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
     if (ro.net_delay > sim::Duration::Zero()) {
       co_await env_.Delay(ro.net_delay * JitterFactor(s));
     }
+    if (pa != nullptr) {
+      pa->Charge(failing_over ? metrics::Phase::kFailoverReadmit
+                              : metrics::Phase::kRouterHop,
+                 env_.Now());
+    }
+    failing_over = false;
     if (lost_to) {
       ++counters_.requests_lost_to_server;
       co_await env_.Delay(ro.probe_timeout);
+      // Waiting out the missing ack is network blame, like the hop itself.
+      if (pa != nullptr) pa->Charge(metrics::Phase::kRouterHop, env_.Now());
       router_->OnRequestEnd(s);
       router_->OnRequestError(s);
       if (ro.failover) {
         // Loss is the network's fault, not the request's: re-admit without
         // spending the retry budget (the cross-server failover contract).
         ++counters_.requests_failed_over;
+        failing_over = true;
+        if (ilog != nullptr) {
+          ilog->Mitigation(static_cast<int>(s), "failover", env_.Now());
+        }
         continue;
       }
       if (attempt > ro.max_retries) {
@@ -382,6 +413,7 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
       ++counters_.retries;
       ++attempt;
       co_await env_.Delay(ro.retry_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       continue;
     }
 
@@ -389,6 +421,8 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
     std::size_t tenant = 0;
     bool tenant_ok = true;
     co_await EnsureTenant(s, client, spec, tenant, tenant_ok);
+    // First arrival on a non-home server streams parameters and warms up.
+    if (pa != nullptr) pa->Charge(metrics::Phase::kReload, env_.Now());
     if (!tenant_ok) {
       // The failure reply still crosses the network back to the router —
       // the same response leg a served request pays. (Also what makes the
@@ -397,6 +431,7 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
       if (ro.net_delay > sim::Duration::Zero()) {
         co_await env_.Delay(ro.net_delay * JitterFactor(s));
       }
+      if (pa != nullptr) pa->Charge(metrics::Phase::kResponseHop, env_.Now());
       router_->OnRequestEnd(s);
       router_->OnRequestError(s);
       if (attempt > ro.max_retries) {
@@ -407,6 +442,7 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
       ++counters_.retries;
       ++attempt;
       co_await env_.Delay(ro.retry_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       continue;
     }
 
@@ -414,13 +450,14 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
     // device placement, retries, device failover). The original arrival
     // anchors the deadline end-to-end across server hops.
     RequestStatus leg = RequestStatus::kOk;
-    co_await servers_[s]->ServeTenantRequest(tenant, rng, arrival, leg);
+    co_await servers_[s]->ServeTenantRequest(tenant, rng, arrival, leg, pa);
 
     // Response leg (jitter evaluated at the send instant, like lost_from).
     const bool lost_from = env_.Now() < part_from_until_[s];
     if (ro.net_delay > sim::Duration::Zero()) {
       co_await env_.Delay(ro.net_delay * JitterFactor(s));
     }
+    if (pa != nullptr) pa->Charge(metrics::Phase::kResponseHop, env_.Now());
     router_->OnRequestEnd(s);
     if (lost_from) {
       ++counters_.responses_lost_from_server;
@@ -429,6 +466,10 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
         // At-least-once: the work happened but the answer is gone, so the
         // request re-executes on a routable server, budget untouched.
         ++counters_.requests_failed_over;
+        failing_over = true;
+        if (ilog != nullptr) {
+          ilog->Mitigation(static_cast<int>(s), "failover", env_.Now());
+        }
         continue;
       }
       if (attempt > ro.max_retries) {
@@ -439,6 +480,7 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
       ++counters_.retries;
       ++attempt;
       co_await env_.Delay(ro.retry_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       continue;
     }
 
@@ -462,6 +504,10 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
       router_->OnRequestError(s);
       if (ro.failover) {
         ++counters_.requests_failed_over;
+        failing_over = true;
+        if (ilog != nullptr) {
+          ilog->Mitigation(static_cast<int>(s), "failover", env_.Now());
+        }
         continue;
       }
     } else if (leg == RequestStatus::kFailed) {
@@ -475,34 +521,47 @@ sim::Task Cluster::DispatchRequest(std::size_t client, const ClientSpec& spec,
     ++counters_.retries;
     ++attempt;
     co_await env_.Delay(ro.retry_backoff);
+    if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
   }
 }
 
 sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
                                    std::size_t home, sim::Rng& rng,
                                    sim::TimePoint arrival,
-                                   RequestStatus& status) {
+                                   RequestStatus& status,
+                                   metrics::PhaseAccount* pa,
+                                   std::size_t* served) {
   // Mirrors DispatchRequest decision-for-decision and delay-for-delay; the
   // only difference is WHERE the serve section executes: the forward and
   // response network legs become cross-shard hops, so the in-server
   // pipeline runs on the server's shard inside parallel windows while the
   // hub bookkeeping stays on the hub. Route, counters, and router state are
-  // only ever touched hub-side.
+  // only ever touched hub-side. Phase charges land at the same virtual
+  // instants as the unsharded path's (the account itself is frame-local, so
+  // charging from the server's shard is race-free), keeping the blame table
+  // byte-identical across shard counts.
   const RouterOptions& ro = options_.router;
+  metrics::IncidentLog* const ilog = options_.incidents;
   if (router_->BrownoutSheds(spec.priority)) {
     ++counters_.requests_shed_brownout;
     status = RequestStatus::kRejected;
+    if (pa != nullptr) pa->Charge(metrics::Phase::kAdmission, env_.Now());
     co_await env_.Delay(ro.retry_backoff);
+    if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
     co_return;
   }
+  bool failing_over = false;
   for (int attempt = 1;;) {
     const std::size_t s = router_->Route(home);
     if (s == Router::kNoServer) {
       ++counters_.requests_rejected_no_server;
       status = RequestStatus::kRejected;
+      if (pa != nullptr) pa->Charge(metrics::Phase::kAdmission, env_.Now());
       co_await env_.Delay(ro.retry_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       co_return;
     }
+    if (served != nullptr) *served = s;
     router_->OnRequestStart(s);
 
     // A partition active at send time drops the request on the wire: it
@@ -515,12 +574,23 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
     const double jitter_fwd = JitterFactor(s);
     if (lost_to) {
       co_await env_.Delay(ro.net_delay * jitter_fwd);
+      if (pa != nullptr) {
+        pa->Charge(failing_over ? metrics::Phase::kFailoverReadmit
+                                : metrics::Phase::kRouterHop,
+                   env_.Now());
+      }
+      failing_over = false;
       ++counters_.requests_lost_to_server;
       co_await env_.Delay(ro.probe_timeout);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kRouterHop, env_.Now());
       router_->OnRequestEnd(s);
       router_->OnRequestError(s);
       if (ro.failover) {
         ++counters_.requests_failed_over;
+        failing_over = true;
+        if (ilog != nullptr) {
+          ilog->Mitigation(static_cast<int>(s), "failover", env_.Now());
+        }
         continue;
       }
       if (attempt > ro.max_retries) {
@@ -531,12 +601,19 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
       ++counters_.retries;
       ++attempt;
       co_await env_.Delay(ro.retry_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       continue;
     }
 
     // Forward leg: the request physically moves onto the server's shard
     // (lane s is server s, wherever the assignment packed it).
     co_await engine_.HopToShard(s, ro.net_delay * jitter_fwd);
+    if (pa != nullptr) {
+      pa->Charge(failing_over ? metrics::Phase::kFailoverReadmit
+                              : metrics::Phase::kRouterHop,
+                 servers_[s]->env().Now());
+    }
+    failing_over = false;
 
     std::size_t tenant = 0;
     bool tenant_ok = true;
@@ -546,8 +623,12 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
     std::exception_ptr err;
     try {
       co_await EnsureTenant(s, client, spec, tenant, tenant_ok);
+      if (pa != nullptr) {
+        pa->Charge(metrics::Phase::kReload, servers_[s]->env().Now());
+      }
       if (tenant_ok) {
-        co_await servers_[s]->ServeTenantRequest(tenant, rng, arrival, leg);
+        co_await servers_[s]->ServeTenantRequest(tenant, rng, arrival, leg,
+                                                 pa);
         // Read at the serve-completion instant on the server's clock,
         // exactly where the unsharded path evaluates it (before the
         // response leg). The window arrays are written only during hub
@@ -569,6 +650,7 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
     // Response leg: back onto the hub.
     co_await engine_.HopToHub(s, ro.net_delay * jitter_back);
     if (err != nullptr) std::rethrow_exception(err);
+    if (pa != nullptr) pa->Charge(metrics::Phase::kResponseHop, env_.Now());
 
     if (!tenant_ok) {
       // Tenant instantiation failed (an alloc-fault window on the server):
@@ -584,6 +666,7 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
       ++counters_.retries;
       ++attempt;
       co_await env_.Delay(ro.retry_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       continue;
     }
 
@@ -593,6 +676,10 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
       router_->OnRequestError(s);
       if (ro.failover) {
         ++counters_.requests_failed_over;
+        failing_over = true;
+        if (ilog != nullptr) {
+          ilog->Mitigation(static_cast<int>(s), "failover", env_.Now());
+        }
         continue;
       }
       if (attempt > ro.max_retries) {
@@ -603,6 +690,7 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
       ++counters_.retries;
       ++attempt;
       co_await env_.Delay(ro.retry_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       continue;
     }
 
@@ -623,6 +711,10 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
       router_->OnRequestError(s);
       if (ro.failover) {
         ++counters_.requests_failed_over;
+        failing_over = true;
+        if (ilog != nullptr) {
+          ilog->Mitigation(static_cast<int>(s), "failover", env_.Now());
+        }
         continue;
       }
     } else if (leg == RequestStatus::kFailed) {
@@ -636,6 +728,7 @@ sim::Task Cluster::ShardedDispatch(std::size_t client, const ClientSpec& spec,
     ++counters_.retries;
     ++attempt;
     co_await env_.Delay(ro.retry_backoff);
+    if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
   }
 }
 
@@ -667,22 +760,39 @@ sim::Task Cluster::ClientProc(std::size_t client,
       arrival = env_.Now();
     }
     RequestStatus status = RequestStatus::kOk;
+    metrics::PhaseAccount account;
+    metrics::PhaseAccount* pa = nullptr;
+    std::size_t served = out.home_server;
+    if (options_.phases != nullptr) {
+      pa = &account;
+      pa->Start(arrival);
+      // An arrival that found its predecessor still in flight queued at the
+      // front end; that wait is pre-routing time.
+      pa->Charge(metrics::Phase::kRouterQueue, env_.Now());
+    }
     if (engine_.sharded()) {
       co_await ShardedDispatch(client, spec.request, out.home_server, rng,
-                               arrival, status);
+                               arrival, status, pa, &served);
     } else {
       co_await DispatchRequest(client, spec.request, out.home_server, rng,
-                               arrival, status);
+                               arrival, status, pa, &served);
     }
     out.request_latency_ms.push_back((env_.Now() - arrival).millis());
     out.request_status.push_back(status);
     if (latency_hist != nullptr) {
       latency_hist->Observe(out.request_latency_ms.back());
     }
-    if (status == RequestStatus::kOk ||
-        status == RequestStatus::kFailedRetried) {
-      ++out.requests_completed;
+    const bool ok = status == RequestStatus::kOk ||
+                    status == RequestStatus::kFailedRetried;
+    if (pa != nullptr) {
+      options_.phases->Record(static_cast<int>(served), spec.request.model,
+                              account, ok, env_.Now() - arrival);
     }
+    if (options_.incidents != nullptr) {
+      options_.incidents->RequestOutcome(static_cast<int>(served), env_.Now(),
+                                         ok);
+    }
+    if (ok) ++out.requests_completed;
   }
   out.finish_time = env_.Now() - sim::TimePoint();
   // Fold this client's meters into each server it ever ran on. Runs during
@@ -778,19 +888,37 @@ sim::Task Cluster::StreamRequestProc(std::size_t stream,
                                      sim::TimePoint arrival, int index,
                                      ClusterStreamResult& out) {
   RequestStatus status = RequestStatus::kOk;
+  metrics::PhaseAccount account;
+  metrics::PhaseAccount* pa = nullptr;
+  std::size_t served = home;
+  if (options_.phases != nullptr) {
+    pa = &account;
+    pa->Start(arrival);
+    pa->Charge(metrics::Phase::kRouterQueue, env_.Now());
+  }
   if (engine_.sharded()) {
-    co_await ShardedDispatch(stream, spec.request, home, rng, arrival, status);
+    co_await ShardedDispatch(stream, spec.request, home, rng, arrival, status,
+                             pa, &served);
   } else {
-    co_await DispatchRequest(stream, spec.request, home, rng, arrival, status);
+    co_await DispatchRequest(stream, spec.request, home, rng, arrival, status,
+                             pa, &served);
   }
   // Slots are indexed by arrival order, so the result layout is identical
   // no matter which order responses land in.
   out.request_latency_ms[static_cast<std::size_t>(index)] =
       (env_.Now() - arrival).millis();
   out.request_status[static_cast<std::size_t>(index)] = status;
-  if (status == RequestStatus::kOk || status == RequestStatus::kFailedRetried) {
-    ++out.requests_completed;
+  const bool ok = status == RequestStatus::kOk ||
+                  status == RequestStatus::kFailedRetried;
+  if (pa != nullptr) {
+    options_.phases->Record(static_cast<int>(served), spec.request.model,
+                            account, ok, env_.Now() - arrival);
   }
+  if (options_.incidents != nullptr) {
+    options_.incidents->RequestOutcome(static_cast<int>(served), env_.Now(),
+                                       ok);
+  }
+  if (ok) ++out.requests_completed;
   const sim::Duration finished = env_.Now() - sim::TimePoint();
   out.finish_time = std::max(out.finish_time, finished);
   if (--outstanding_requests_ == 0 && streams_running_ == 0) StopAll();
@@ -874,6 +1002,10 @@ void Cluster::FinishRun() {
   for (const std::uint64_t n : tenant_instantiations_) {
     counters_.tenant_instantiations += n;
   }
+  if (options_.incidents != nullptr) options_.incidents->Finalize();
+  if (options_.engine_registry != nullptr) {
+    ExportEngineIntrospection(*options_.engine_registry);
+  }
   if (options_.registry != nullptr) {
     counters_.ExportTo(*options_.registry);
   }
@@ -896,6 +1028,53 @@ void Cluster::FinishRun() {
       user_registry->MergeFrom(*server_registries_[s],
                                {{"server", std::to_string(s)}});
     }
+  }
+}
+
+void Cluster::ExportEngineIntrospection(metrics::MetricRegistry& reg) const {
+  reg.GetCounter("olympian_engine_sync_windows").Set(engine_.sync_windows());
+  reg.GetCounter("olympian_engine_hub_instants").Set(engine_.hub_instants());
+  reg.GetCounter("olympian_engine_boundary_events")
+      .Set(engine_.boundary_events());
+  reg.GetCounter("olympian_engine_worker_wakeups")
+      .Set(engine_.worker_wakeups());
+  reg.GetCounter("olympian_engine_introspection_samples_dropped")
+      .Set(engine_.introspection_samples_dropped());
+  for (std::size_t k = 0; k < engine_.shards(); ++k) {
+    const metrics::Labels labels = {{"shard", std::to_string(k)}};
+    reg.GetCounter("olympian_engine_shard_events", labels)
+        .Set(engine_.shard_events(k));
+    reg.GetCounter("olympian_engine_shard_busy_wall_ns", labels)
+        .Set(static_cast<std::uint64_t>(engine_.shard_busy_wall_ns(k)));
+    reg.GetCounter("olympian_engine_shard_barrier_wait_wall_ns", labels)
+        .Set(static_cast<std::uint64_t>(
+            engine_.shard_barrier_wait_wall_ns(k)));
+    reg.GetCounter("olympian_engine_shard_windows_run", labels)
+        .Set(engine_.shard_windows_run(k));
+  }
+  for (std::size_t l = 0; l < engine_.lane_boundary_events().size(); ++l) {
+    reg.GetCounter("olympian_engine_lane_boundary_events",
+                   {{"lane", std::to_string(l)}})
+        .Set(engine_.lane_boundary_events()[l]);
+  }
+  // Window-length and boundary-traffic time series, indexed by virtual
+  // time. An unbounded lone-worker window exports as -1.
+  metrics::MetricRegistry::TimeSeries& window_len =
+      reg.GetSeries("olympian_engine_window_len_ns");
+  metrics::MetricRegistry::TimeSeries& window_width =
+      reg.GetSeries("olympian_engine_window_participants");
+  for (const sim::ShardedEngine::WindowSample& w : engine_.window_samples()) {
+    const sim::TimePoint at =
+        sim::TimePoint() + sim::Duration::Nanos(w.at_ns);
+    window_len.Sample(at, static_cast<double>(w.len_ns));
+    window_width.Sample(at, static_cast<double>(w.participants));
+  }
+  metrics::MetricRegistry::TimeSeries& boundary_batch =
+      reg.GetSeries("olympian_engine_boundary_batch_events");
+  for (const sim::ShardedEngine::BoundarySample& b :
+       engine_.boundary_samples()) {
+    boundary_batch.Sample(sim::TimePoint() + sim::Duration::Nanos(b.at_ns),
+                          static_cast<double>(b.events));
   }
 }
 

@@ -9,6 +9,8 @@
 
 #include "fault/fault.h"
 #include "metrics/counters.h"
+#include "metrics/incident.h"
+#include "metrics/phase_account.h"
 #include "metrics/registry.h"
 #include "serving/arrivals.h"
 #include "serving/router.h"
@@ -65,6 +67,18 @@ struct ClusterOptions {
   fault::ServerFaultPlan faults;
   // Router counters + per-server health series land here (may be null).
   metrics::MetricRegistry* registry = nullptr;
+  // Latency anatomy. Both may be null (the default): every charge site is
+  // pointer-guarded, so a disabled run pays nothing on the hot path. The
+  // collector and the incident log are fed hub-side only, in virtual-time
+  // order, so their exports are byte-identical at any shard count.
+  metrics::PhaseCollector* phases = nullptr;
+  metrics::IncidentLog* incidents = nullptr;
+  // Sharded-engine introspection (per-shard busy/barrier-wait wall time,
+  // window-length and boundary-traffic series) lands HERE, not in
+  // `registry`: wall-clock numbers depend on the physical shard count, so a
+  // separate registry preserves the byte-identical-across-shard-counts
+  // contract for every export above.
+  metrics::MetricRegistry* engine_registry = nullptr;
   // Master seed for server seeds and per-client request streams.
   std::uint64_t seed = 1;
   // Simulation shards. 1 (the default) keeps everything on one event queue —
@@ -164,14 +178,16 @@ class Cluster : private RouterTransport {
   // with failover re-admission and the budgeted retry loop.
   sim::Task DispatchRequest(std::size_t client, const ClientSpec& spec,
                             std::size_t home, sim::Rng& rng,
-                            sim::TimePoint arrival, RequestStatus& status);
+                            sim::TimePoint arrival, RequestStatus& status,
+                            metrics::PhaseAccount* pa, std::size_t* served);
   // Sharded twin of DispatchRequest: identical decision sequence and
   // virtual-time cost, but the serve section physically executes on the
   // server's shard — the forward/response network legs become cross-shard
   // hops through the engine's boundary channels.
   sim::Task ShardedDispatch(std::size_t client, const ClientSpec& spec,
                             std::size_t home, sim::Rng& rng,
-                            sim::TimePoint arrival, RequestStatus& status);
+                            sim::TimePoint arrival, RequestStatus& status,
+                            metrics::PhaseAccount* pa, std::size_t* served);
   // Bring client's tenant up on `server`, charging parameter streaming +
   // warm-up for a first arrival on a non-home server. `ok` is false on a
   // transient allocation failure. Runs on the server's environment (the
@@ -190,6 +206,10 @@ class Cluster : private RouterTransport {
   // Merge per-server private accumulators (tenant counters, trace buffers,
   // observability registries) hub-side in canonical order, then export.
   void FinishRun();
+  // Engine introspection -> ClusterOptions::engine_registry (wall-clock
+  // numbers: deliberately a separate registry from every byte-compared
+  // artifact).
+  void ExportEngineIntrospection(metrics::MetricRegistry& reg) const;
 
   std::size_t shard_of(std::size_t server) const {
     // One engine lane per server, so the lane map IS the assignment.

@@ -253,6 +253,13 @@ void Router::Transition(std::size_t server, ServerHealth to) {
       onset_armed_[server] = false;
     }
   }
+  if (incident_log_ != nullptr) {
+    // The incident log's notion of "healthy" is the router's top state; any
+    // away-edge is a detection, the return edge is the recovery.
+    incident_log_->HealthTransition(static_cast<int>(server),
+                                    st.health == ServerHealth::kHealthy,
+                                    to == ServerHealth::kHealthy, env_.Now());
+  }
   transitions_.push_back(ServerTransition{server, st.health, to, env_.Now()});
   st.health = to;
   if (counters_ != nullptr) ++counters_->server_transitions;
@@ -344,6 +351,11 @@ void Router::UpdateBrownout() {
   if (brownout_level_ != before && registry_ != nullptr) {
     registry_->GetSeries("olympian_brownout_level", {})
         .Sample(now, static_cast<double>(brownout_level_));
+  }
+  if (brownout_level_ > before && incident_log_ != nullptr) {
+    // Shedding a class is a global load-shifting action: it mitigates every
+    // open, detected incident that nothing else has addressed yet.
+    incident_log_->Mitigation(-1, "brownout", now);
   }
 }
 

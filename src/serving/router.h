@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "metrics/counters.h"
+#include "metrics/incident.h"
 #include "metrics/registry.h"
 #include "serving/health_score.h"
 #include "sim/environment.h"
@@ -155,6 +156,10 @@ class Router {
   bool BrownoutSheds(int priority) const;
   int brownout_level() const { return brownout_level_; }
 
+  // Incident-timeline feed: health edges become detection/recovery marks,
+  // brownout level increases become global mitigations. May be null.
+  void set_incident_log(metrics::IncidentLog* log) { incident_log_ = log; }
+
   // Every health edge, in order. The recovering->healthy edge count is the
   // number of completed router-visible recoveries.
   const std::vector<ServerTransition>& transitions() const {
@@ -187,6 +192,7 @@ class Router {
   RouterOptions options_;
   metrics::RouterCounters* counters_;
   metrics::MetricRegistry* registry_;
+  metrics::IncidentLog* incident_log_ = nullptr;
   std::vector<ServerState> servers_;
   std::vector<ServerTransition> transitions_;
   std::vector<sim::Duration> mttr_incidents_;

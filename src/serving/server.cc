@@ -116,6 +116,8 @@ sim::Task Experiment::ClientProc(std::size_t client_index,
           ? nullptr
           : &registry->GetHistogram("olympian_request_latency_ms",
                                     {{"model", spec.model}});
+  metrics::PhaseCollector* const phases = options_.observability.phases;
+  metrics::PhaseAccount account;
   sim::TimePoint arrival;  // request b's arrival instant (t=0 for b=0)
   for (int b = 0; b < spec.num_batches; ++b) {
     if (open_loop) {
@@ -131,10 +133,23 @@ sim::Task Experiment::ClientProc(std::size_t client_index,
       arrival = env_.Now();
     }
     RequestStatus status = RequestStatus::kOk;
+    metrics::PhaseAccount* pa = nullptr;
+    if (phases != nullptr) {
+      pa = &account;
+      pa->Start(arrival);
+      // An open-loop request that arrived while its predecessor was in
+      // flight queued at the client; that wait is pre-admission time.
+      pa->Charge(metrics::Phase::kAdmission, env_.Now());
+    }
     co_await RunRequest(client_index, ctx, g, spec, rng, arrival,
-                        out.gpu_index, status);
+                        out.gpu_index, status, pa);
     out.request_latency_ms.push_back((env_.Now() - arrival).millis());
     out.request_status.push_back(status);
+    if (phases != nullptr) {
+      const bool ok = status == RequestStatus::kOk ||
+                      status == RequestStatus::kFailedRetried;
+      phases->Record(-1, spec.model, account, ok, env_.Now() - arrival);
+    }
     if (latency_hist != nullptr) {
       latency_hist->Observe(out.request_latency_ms.back());
     }
@@ -178,7 +193,8 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
                                  const graph::Graph& g, const ClientSpec& spec,
                                  sim::Rng& rng, sim::TimePoint arrival,
                                  std::size_t primary_gpu,
-                                 RequestStatus& status) {
+                                 RequestStatus& status,
+                                 metrics::PhaseAccount* pa) {
   const DegradationOptions& deg = options_.degradation;
   const bool has_deadline = spec.deadline > sim::Duration::Zero();
   const sim::TimePoint deadline = arrival + spec.deadline;
@@ -204,11 +220,18 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
     }
   };
 
+  // Latency anatomy: when `pa` is set, every interval between awaits below
+  // is charged to exactly one phase, so the account's cursor equals the
+  // current instant at every co_return — the phase sum matches end-to-end
+  // latency bit-exactly by construction. All charges are `if (pa)`-guarded;
+  // a null account costs one predictable branch per site.
+  bool failing_over = false;  // last attempt ended in failover re-admission
   for (int attempt = 1;;) {
     if (has_deadline && env_.Now() >= deadline) {
       status = RequestStatus::kTimedOut;
       ++counters_.requests_timed_out;
       end_flow("deadline");
+      if (pa != nullptr) pa->Charge(metrics::Phase::kAdmission, env_.Now());
       co_return;
     }
     // Admission control: shed instead of stalling when the pool is already
@@ -222,7 +245,9 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         ++counters_.requests_rejected;
         status = RequestStatus::kRejected;
         end_flow("rejected");
+        if (pa != nullptr) pa->Charge(metrics::Phase::kAdmission, env_.Now());
         co_await env_.Delay(deg.reject_backoff);
+        if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
         co_return;
       }
     }
@@ -231,7 +256,9 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       ++counters_.requests_rejected;
       status = RequestStatus::kRejected;
       end_flow("rejected");
+      if (pa != nullptr) pa->Charge(metrics::Phase::kAdmission, env_.Now());
       co_await env_.Delay(deg.reject_backoff);
+      if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
       co_return;
     }
 
@@ -248,11 +275,24 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         ++counters_.requests_rejected;
         status = RequestStatus::kRejected;
         end_flow("rejected");
+        if (pa != nullptr) pa->Charge(metrics::Phase::kAdmission, env_.Now());
         co_await env_.Delay(deg.reject_backoff);
+        if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
         co_return;
       }
       bool replica_ok = true;
+      if (pa != nullptr) {
+        pa->Charge(metrics::Phase::kPlacerDecision, env_.Now());
+      }
       co_await EnsureReplica(client_index, spec, gpu_index, replica_ok);
+      if (pa != nullptr) {
+        // Reload/warm-up wait, unless this admission is a failover re-entry
+        // — then the whole leg is blamed on the failover.
+        pa->Charge(failing_over ? metrics::Phase::kFailoverReadmit
+                                : metrics::Phase::kReload,
+                   env_.Now());
+        failing_over = false;
+      }
       if (!replica_ok) {
         ++counters_.transient_alloc_failures;
         // Fall through to the failure path below as a retryable transient.
@@ -269,6 +309,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         ++attempt;
         hop_detail = "retry";
         co_await env_.Delay(deg.reject_backoff);
+        if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
         continue;
       }
       ctx = ClientContext(client_index, gpu_index);
@@ -281,6 +322,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         // let it finish (it was cancelled, so it drains fast).
         hop_detail = "reroute";
         co_await env_.Delay(deg.reject_backoff);
+        if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
         continue;
       }
     }
@@ -343,7 +385,17 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         placer_->OnRequestStart(gpu_index);
         RegisterInFlight(gpu_index, token.get(), ctx);
       }
+      const sim::Duration gpu_before =
+          pa != nullptr ? gpus_[gpu_index]->JobGpuDuration(ctx->job)
+                        : sim::Duration::Zero();
       co_await executor(gpu_index).RunOnce(*ctx, g);
+      if (pa != nullptr) {
+        // Split the run interval into measured GPU residency (compute) and
+        // everything else — pool queueing, scheduler token waits (queue).
+        pa->SplitCharge(metrics::Phase::kGpuCompute,
+                        gpus_[gpu_index]->JobGpuDuration(ctx->job) - gpu_before,
+                        metrics::Phase::kGpuQueue, env_.Now());
+      }
       token->finished = true;
       ctx->cancel = nullptr;
       if (failover) {
@@ -370,6 +422,9 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
         } else {
           // Primary failed: the hedge verdict decides the request.
           while (!hedge->done) co_await hedge->cv.Wait();
+          if (pa != nullptr) {
+            pa->Charge(metrics::Phase::kHedgeOverhead, env_.Now());
+          }
           if (hedge->won) {
             ++counters_.hedge_wins;
             failed = false;
@@ -409,6 +464,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
       // replica WITHOUT consuming the retry budget — the failure belongs
       // to the device, not the request. (The Usable check also catches a
       // kernel failure that raced ahead of the down transition.)
+      failing_over = true;
       ++counters_.requests_failed_over;
       hop_detail = graph::ToString(graph::CancelReason::kFailover);
       continue;
@@ -442,6 +498,7 @@ sim::Task Experiment::RunRequest(std::size_t client_index,
                      ? graph::ToString(reason)
                      : "retry";
     co_await env_.Delay(backoff);
+    if (pa != nullptr) pa->Charge(metrics::Phase::kBackoff, env_.Now());
   }
 }
 
@@ -718,12 +775,13 @@ std::size_t Experiment::AddTenant(const ClientSpec& spec) {
 
 sim::Task Experiment::ServeTenantRequest(std::size_t tenant, sim::Rng& rng,
                                          sim::TimePoint arrival,
-                                         RequestStatus& status) {
+                                         RequestStatus& status,
+                                         metrics::PhaseAccount* phases) {
   Tenant& t = tenants_.at(tenant);
   // The tenant index doubles as the client index for client_gpu_ctx_ keys,
   // so failover replicas are shared across all of the tenant's requests.
   co_await RunRequest(tenant, *t.ctx, *t.graph, t.spec, rng, arrival,
-                      t.primary_gpu, status);
+                      t.primary_gpu, status, phases);
 }
 
 void Experiment::RetireTenant(std::size_t tenant) {

@@ -17,6 +17,7 @@
 #include "graph/hooks.h"
 #include "graph/thread_pool.h"
 #include "metrics/counters.h"
+#include "metrics/phase_account.h"
 #include "metrics/registry.h"
 #include "models/model_zoo.h"
 #include "serving/degradation.h"
@@ -68,6 +69,13 @@ struct ObservabilityOptions {
   // state, and scheduler token occupancy (via SchedulingHooks::OnSample).
   // Zero disables the sampler; counters and histograms still flow.
   sim::Duration sample_interval = sim::Duration::Zero();
+  // Latency anatomy: when set, every request carries a PhaseAccount that
+  // charges its whole lifetime to the closed Phase taxonomy (phase sum ==
+  // end-to-end latency bit-exactly in virtual time), folded per
+  // (server, model) into this collector after each request. Owned by the
+  // caller; must outlive Run. Null (the default) skips all charging — the
+  // request path stays branch-plus-nothing.
+  metrics::PhaseCollector* phases = nullptr;
 };
 
 // Configuration of one model-server instance.
@@ -223,8 +231,12 @@ class Experiment : private HealthObserver {
   std::size_t AddTenant(const ClientSpec& spec);
   // One request of tenant `tenant` through the RunRequest pipeline.
   // `arrival` anchors the deadline; `status` receives the terminal outcome.
+  // `phases` (optional) continues the request's latency-anatomy account —
+  // the cluster charges the router-side phases, this call charges the
+  // server-side ones.
   sim::Task ServeTenantRequest(std::size_t tenant, sim::Rng& rng,
-                               sim::TimePoint arrival, RequestStatus& status);
+                               sim::TimePoint arrival, RequestStatus& status,
+                               metrics::PhaseAccount* phases = nullptr);
   // Fold a tenant's meters into the retired table (call when its client
   // finishes, mirroring ClientProc's retirement).
   void RetireTenant(std::size_t tenant);
@@ -289,7 +301,8 @@ class Experiment : private HealthObserver {
   sim::Task RunRequest(std::size_t client_index, graph::JobContext& primary_ctx,
                        const graph::Graph& g, const ClientSpec& spec,
                        sim::Rng& rng, sim::TimePoint arrival,
-                       std::size_t primary_gpu, RequestStatus& status);
+                       std::size_t primary_gpu, RequestStatus& status,
+                       metrics::PhaseAccount* pa = nullptr);
   // Fires at `deadline`; cancels the run if it is still in flight. Holds a
   // shared_ptr so a watchdog outliving its request cannot dangle.
   sim::Task DeadlineWatchdog(std::shared_ptr<graph::CancelToken> token,

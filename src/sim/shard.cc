@@ -91,6 +91,7 @@ void ShardedEngine::Send(std::size_t lane, bool to_hub, Duration latency,
 }
 
 void ShardedEngine::Deliver() {
+  const std::uint64_t before = boundary_events_;
   // Hub -> workers: concatenate each shard's lanes in ascending lane order
   // (each channel already in send/seq order), then stable-sort by arrival
   // time: ties keep lane-then-seq order. The (time, lane, seq) total order
@@ -125,7 +126,10 @@ void ShardedEngine::Deliver() {
     }
   }
   // Workers -> hub: same (time, lane, seq) merge across every lane.
-  if (pending_to_hub_.load(std::memory_order_relaxed) == 0) return;
+  if (pending_to_hub_.load(std::memory_order_relaxed) == 0) {
+    RecordBoundarySample(before);
+    return;
+  }
   pending_to_hub_.store(0, std::memory_order_relaxed);
   merge_scratch_.clear();
   for (std::size_t l = 0; l < to_hub_.size(); ++l) {
@@ -136,7 +140,10 @@ void ShardedEngine::Deliver() {
     lane_boundary_events_[l] += ch.msgs.size();
     ch.msgs.clear();
   }
-  if (merge_scratch_.empty()) return;
+  if (merge_scratch_.empty()) {
+    RecordBoundarySample(before);
+    return;
+  }
   std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
                    [](const BoundaryEvent& a, const BoundaryEvent& b) {
                      return a.at < b.at;
@@ -151,6 +158,18 @@ void ShardedEngine::Deliver() {
     env.ScheduleAt(m.at, m.h);
   }
   boundary_events_ += merge_scratch_.size();
+  RecordBoundarySample(before);
+}
+
+void ShardedEngine::RecordBoundarySample(std::uint64_t before) {
+  const std::uint64_t delivered = boundary_events_ - before;
+  if (delivered == 0) return;
+  if (boundary_samples_.size() < kMaxIntrospectionSamples) {
+    boundary_samples_.push_back(
+        BoundarySample{hub().Now().nanos(), delivered});
+  } else {
+    ++introspection_dropped_;
+  }
 }
 
 void ShardedEngine::StartWorkers() {
@@ -179,12 +198,15 @@ void ShardedEngine::StopWorkers() {
 }
 
 void ShardedEngine::WorkerMain(std::size_t k, std::uint64_t seen) {
+  using WallClock = std::chrono::steady_clock;
   Environment& env = *envs_[k + 1];
   WorkerSlot& slot = *slots_[k];
   for (;;) {
+    const WallClock::time_point parked = WallClock::now();
     slot.phase.wait(seen, std::memory_order_acquire);
     seen = slot.phase.load(std::memory_order_acquire);
     if (stop_.load(std::memory_order_relaxed)) return;
+    const WallClock::time_point woke = WallClock::now();
     try {
       // The cap can shrink while we run (Send self-caps on the first
       // boundary message), so the window loop re-reads it per event.
@@ -192,6 +214,15 @@ void ShardedEngine::WorkerMain(std::size_t k, std::uint64_t seen) {
     } catch (...) {
       worker_errors_[k] = std::current_exception();
     }
+    // Introspection: written before the release decrement below, which is
+    // what publishes them to the engine's post-barrier reads.
+    slot.wait_wall_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(woke - parked)
+            .count();
+    slot.busy_wall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             WallClock::now() - woke)
+                             .count();
+    ++slot.windows_run;
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
     remaining_.notify_one();
   }
@@ -273,6 +304,8 @@ void ShardedEngine::Run() {
     // every participant before the first wakeup). A worker participates
     // only when its head event fits under its cap; everyone else sleeps
     // through the round untouched.
+    TimePoint widest_cap;
+    bool any_unbounded = false;
     for (std::size_t k = 0; k < shards_; ++k) {
       participate_[k] = false;
       if (nexts_[k] == Environment::Never()) continue;  // idle: never woken
@@ -284,6 +317,11 @@ void ShardedEngine::Run() {
       participate_[k] = true;
       slots_[k]->cap = cap;
       ++participants;
+      if (cap == Environment::Never()) {
+        any_unbounded = true;
+      } else {
+        widest_cap = std::max(widest_cap, cap);
+      }
     }
     if (participants == 0) {
       throw std::logic_error(
@@ -291,6 +329,15 @@ void ShardedEngine::Run() {
           "invariant violated)");
     }
     worker_wakeups_ += participants;
+    if (window_samples_.size() < kMaxIntrospectionSamples) {
+      WindowSample ws;
+      ws.at_ns = worker_next.nanos();
+      ws.len_ns = any_unbounded ? -1 : (widest_cap - worker_next).nanos();
+      ws.participants = participants;
+      window_samples_.push_back(ws);
+    } else {
+      ++introspection_dropped_;
+    }
     remaining_.store(participants, std::memory_order_relaxed);
     // Pass 2: wake exactly the participants.
     for (std::size_t k = 0; k < shards_; ++k) {

@@ -58,6 +58,8 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
 #include "sim/environment.h"
 #include "sim/time.h"
 
@@ -153,6 +155,47 @@ class ShardedEngine {
     return lane_boundary_events_;
   }
 
+  // --- introspection (wall-clock; NOT part of the deterministic trajectory,
+  // so consumers must keep these out of byte-compared artifacts) ------------
+  // One record per parallel window round: when it opened (virtual time of
+  // the earliest participant event), how wide it was allowed to run (virtual
+  // span to the widest participant cap; -1 = a lone worker's unbounded
+  // window), and how many workers woke. Capped at kMaxIntrospectionSamples;
+  // overflow is counted, never silently dropped.
+  struct WindowSample {
+    std::int64_t at_ns = 0;
+    std::int64_t len_ns = -1;
+    std::uint32_t participants = 0;
+  };
+  // One record per channel drain that moved events: hub virtual time and
+  // how many boundary events were merged in that batch.
+  struct BoundarySample {
+    std::int64_t at_ns = 0;
+    std::uint64_t events = 0;
+  };
+  static constexpr std::size_t kMaxIntrospectionSamples = 1 << 16;
+  // Wall time shard k spent executing window events, and wall time it spent
+  // parked at the arrival barrier between windows. Read only after Run()
+  // returns (the barrier's release/acquire pairs publish the counters).
+  std::int64_t shard_busy_wall_ns(std::size_t k) const {
+    return sharded() ? slots_[k]->busy_wall_ns : 0;
+  }
+  std::int64_t shard_barrier_wait_wall_ns(std::size_t k) const {
+    return sharded() ? slots_[k]->wait_wall_ns : 0;
+  }
+  std::uint64_t shard_windows_run(std::size_t k) const {
+    return sharded() ? slots_[k]->windows_run : 0;
+  }
+  const std::vector<WindowSample>& window_samples() const {
+    return window_samples_;
+  }
+  const std::vector<BoundarySample>& boundary_samples() const {
+    return boundary_samples_;
+  }
+  std::uint64_t introspection_samples_dropped() const {
+    return introspection_dropped_;
+  }
+
  private:
   struct BoundaryEvent {
     TimePoint at;
@@ -180,11 +223,21 @@ class ShardedEngine {
   struct alignas(64) WorkerSlot {
     std::atomic<std::uint64_t> phase{0};
     TimePoint cap;
+    // Wall-clock introspection, written ONLY by the owning worker thread
+    // before its release decrement of remaining_ (which is what makes the
+    // engine's post-barrier reads race-free).
+    std::int64_t busy_wall_ns = 0;
+    std::int64_t wait_wall_ns = 0;
+    std::uint64_t windows_run = 0;
   };
 
   void Send(std::size_t lane, bool to_hub, Duration latency,
             std::coroutine_handle<> h);
   void Deliver();  // drain all channels into destination queues
+  // Record one boundary-traffic sample covering everything a Deliver call
+  // merged (`before` is boundary_events_ at its entry). No-op when nothing
+  // crossed.
+  void RecordBoundarySample(std::uint64_t before);
   void StartWorkers();
   void StopWorkers();
   void WorkerMain(std::size_t k, std::uint64_t seen_phase);
@@ -221,6 +274,9 @@ class ShardedEngine {
   std::uint64_t boundary_events_ = 0;
   std::uint64_t worker_wakeups_ = 0;
   std::vector<std::uint64_t> lane_boundary_events_;
+  std::vector<WindowSample> window_samples_;      // engine thread only
+  std::vector<BoundarySample> boundary_samples_;  // engine thread only
+  std::uint64_t introspection_dropped_ = 0;
 
   // Scratch for Run()'s per-window scan (avoids per-iteration allocation).
   std::vector<TimePoint> nexts_;

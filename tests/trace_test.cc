@@ -151,6 +151,84 @@ TEST(TracerTest, UntruncatedExportCarriesNoMetadataRecord) {
   EXPECT_EQ(t.dropped(), 0u);
 }
 
+TEST(TracerTest, MergeFoldsDropsAcrossShardedTracers) {
+  // The cluster gives every server a private tracer on its own shard and
+  // folds them hub-side after the run. Truncation must survive the fold:
+  // the merged trace's dropped() is every source's drops plus whatever the
+  // merge itself could not fit.
+  Tracer a(/*max_events=*/2), b(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    a.AddSpan("c", "sa", 0, TimePoint(), TimePoint() + Duration::Micros(1));
+    b.AddSpan("c", "sb", 1, TimePoint(), TimePoint() + Duration::Micros(1));
+  }
+  EXPECT_EQ(a.dropped(), 3u);
+  EXPECT_EQ(b.dropped(), 3u);
+
+  Tracer merged(/*max_events=*/3);
+  merged.MergeFrom(a);  // 2 fit
+  merged.MergeFrom(b);  // 1 fits, 1 dropped at merge time
+  EXPECT_EQ(merged.size(), 3u);
+  // 3 (a's) + 3 (b's) + 1 (merge overflow) = 7.
+  EXPECT_EQ(merged.dropped(), 7u);
+
+  // The folded total is what the export stamps into trace_truncated.
+  const testjson::Value doc = ParseTrace(merged);
+  const testjson::Value& meta = doc.AsArray().back();
+  EXPECT_EQ(meta.at("name").AsString(), "trace_truncated");
+  EXPECT_DOUBLE_EQ(meta.at("args").at("dropped").AsNumber(), 7.0);
+}
+
+TEST(TracerTest, MergePreservesDropFreeSources) {
+  Tracer a, b;
+  a.AddSpan("c", "sa", 0, TimePoint(), TimePoint() + Duration::Micros(1));
+  b.AddInstant("c", "ib", 1, TimePoint() + Duration::Micros(2));
+  Tracer merged;
+  merged.MergeFrom(a);
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.dropped(), 0u);
+  EXPECT_TRUE(ParseTrace(merged).AsArray().size() == 2u);
+}
+
+TEST(TracerTest, CounterEventJsonShape) {
+  Tracer t;
+  t.AddCounter("metric", "util", 0, TimePoint() + Duration::Micros(3), 0.5);
+  const testjson::Value doc = ParseTrace(t);
+  ASSERT_EQ(doc.AsArray().size(), 1u);
+  const testjson::Value& e = doc.AsArray()[0];
+  EXPECT_EQ(e.at("ph").AsString(), "C");
+  EXPECT_EQ(e.at("name").AsString(), "util");
+  EXPECT_DOUBLE_EQ(e.at("ts").AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(e.at("args").at("value").AsNumber(), 0.5);
+}
+
+TEST(TracerTest, ExportCountersToTraceEmitsSampledSeries) {
+  MetricRegistry registry;
+  auto& plain = registry.GetSeries("olympian_util", {});
+  auto& labeled = registry.GetSeries("olympian_health", {{"server", "0"}});
+  plain.Sample(TimePoint() + Duration::Millis(1), 0.25);
+  plain.Sample(TimePoint() + Duration::Millis(2), 0.75);
+  labeled.Sample(TimePoint() + Duration::Millis(3), 1.0);
+
+  Tracer t;
+  ExportCountersToTrace(registry, t);
+  const testjson::Value doc = ParseTrace(t);
+  const auto& events = doc.AsArray();
+  ASSERT_EQ(events.size(), 3u);
+  std::size_t labeled_seen = 0;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("ph").AsString(), "C");
+    EXPECT_EQ(e.at("cat").AsString(), "metric");
+    EXPECT_TRUE(e.at("args").at("value").is_number());
+    // Labeled series keep their label string in the counter name, so each
+    // (name, labels) pair charts separately in Perfetto.
+    if (e.at("name").AsString().find("server") != std::string::npos) {
+      ++labeled_seen;
+    }
+  }
+  EXPECT_EQ(labeled_seen, 1u);
+}
+
 TEST(TracerTest, EmptyTraceIsAValidJsonArray) {
   Tracer t;
   const testjson::Value doc = ParseTrace(t);
